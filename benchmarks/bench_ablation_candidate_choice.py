@@ -1,0 +1,69 @@
+"""Ablation: phase 3's lowest-hit-rate-first candidate policy (§3.3:
+"P2GO selects the one with the lowest hit rate, to minimize the risk of
+impacting the program's behavior").
+
+On Ex. 1 the policy is actually *costly* in wall-clock (it tries the two
+sketch rows first and both verifications fail on the engineered
+collisions) but it is the risk-minimizing order the paper argues for.
+The ablation quantifies the trade: verification attempts and rejected
+resizes per policy.
+"""
+
+import pytest
+
+from repro.core.phase_dependencies import run_phase as dep_phase
+from repro.core.phase_memory import run_phase as mem_phase
+from repro.core.profiler import Profiler
+from repro.target import compile_program
+
+
+@pytest.fixture(scope="module")
+def phase3_state(firewall_inputs):
+    program, config, trace, target = firewall_inputs
+    result = compile_program(program, target)
+    profile = Profiler(program, config).profile(trace)
+    step = dep_phase(program, result, profile)
+    program2 = step.program
+    profile2 = Profiler(program2, config).profile(trace)
+    return program2, config, trace, target, profile2
+
+
+def test_candidate_order_policies(benchmark, phase3_state, record):
+    program, config, trace, target, profile = phase3_state
+
+    lowest_first = benchmark.pedantic(
+        mem_phase,
+        args=(program, config, trace, target, profile),
+        rounds=1,
+        iterations=1,
+    )
+    highest_first = mem_phase(
+        program,
+        config,
+        trace,
+        target,
+        profile,
+        candidate_order=lambda cs: sorted(cs, key=lambda c: -c.hit_rate),
+    )
+
+    lines = [
+        "Ablation: phase-3 candidate order",
+        f"{'policy':<22} {'accepted':<22} {'rejected tries':>14}",
+        f"{'lowest-hit-rate first':<22} "
+        f"{lowest_first.accepted.candidate.name:<22} "
+        f"{len(lowest_first.rejected):>14}",
+        f"{'highest-hit-rate first':<22} "
+        f"{highest_first.accepted.candidate.name:<22} "
+        f"{len(highest_first.rejected):>14}",
+        "",
+        "Both policies converge on the IPv4 resize here, but only because"
+        " verification catches the sketch collisions; with a less"
+        " representative trace, highest-first would have shipped a"
+        " behaviour-changing resize of a 100%-hit-rate table.",
+    ]
+    record("ablation_candidate_choice", "\n".join(lines))
+
+    assert lowest_first.accepted.candidate.name == "IPv4"
+    assert highest_first.accepted.candidate.name == "IPv4"
+    assert len(lowest_first.rejected) == 2  # both sketch rows tried
+    assert len(highest_first.rejected) == 0

@@ -1,0 +1,68 @@
+"""Ablation: binary search vs linear probing for phase 3's minimum
+reduction (§3.3: "binary search allows P2GO to find the minimum reduction
+without a concrete description of the hardware").
+
+Each probe is a full recompilation, so the search strategy directly
+controls phase-3 latency.  Both strategies must land on the same size.
+"""
+
+import pytest
+
+from repro.core.phase_dependencies import run_phase as dep_phase
+from repro.core.phase_memory import (
+    find_candidates,
+    linear_minimal_reduction,
+    minimal_reduction,
+)
+from repro.core.profiler import Profiler
+from repro.target import compile_program
+
+
+@pytest.fixture(scope="module")
+def phase3_input(firewall_inputs):
+    program, config, trace, target = firewall_inputs
+    result = compile_program(program, target)
+    profile = Profiler(program, config).profile(trace)
+    step = dep_phase(program, result, profile)
+    program2 = step.program
+    profile2 = Profiler(program2, config).profile(trace)
+    baseline = compile_program(program2, target).stages_used
+    candidates = find_candidates(program2, target, profile2)
+    row0 = next(c for c in candidates if c.name == "dns_cms_row0")
+    return program2, target, row0, baseline
+
+
+def test_binary_vs_linear_probe_count(benchmark, phase3_input, record):
+    program, target, candidate, baseline = phase3_input
+
+    binary_probes = []
+    binary_answer = benchmark.pedantic(
+        minimal_reduction,
+        args=(program, target, candidate, baseline),
+        kwargs={"probe_counter": binary_probes},
+        rounds=1,
+        iterations=1,
+    )
+
+    linear_probes = []
+    linear_answer = linear_minimal_reduction(
+        program,
+        target,
+        candidate,
+        baseline,
+        step=4,
+        probe_counter=linear_probes,
+    )
+
+    lines = [
+        "Ablation: phase-3 search strategy (each probe = one recompile)",
+        f"{'strategy':<16} {'answer (cells)':>15} {'compiles':>9}",
+        f"{'binary search':<16} {binary_answer:>15} "
+        f"{len(binary_probes):>9}",
+        f"{'linear (step 4)':<16} {linear_answer:>15} "
+        f"{len(linear_probes):>9}",
+    ]
+    record("ablation_memory_search", "\n".join(lines))
+
+    assert binary_answer == linear_answer
+    assert len(binary_probes) < len(linear_probes)

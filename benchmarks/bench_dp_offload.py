@@ -1,0 +1,85 @@
+"""§3.4's dynamic-programming segment selection, exercised end to end.
+
+The paper: "P2GO finds this segment across all candidates using dynamic
+programming."  On the telemetry program no single affordable segment can
+free two stages, so the DP must combine the two cheapest disjoint
+features — and must pick {dns_hh, ttl_probe} (~3.4% combined load) over
+any pair involving the 5%-load SYN monitor.
+"""
+
+import pytest
+
+from repro.core.phase_offload import (
+    enumerate_candidates,
+    evaluate_candidates,
+    run_phase,
+    select_combination,
+)
+from repro.programs import telemetry
+from repro.target import compile_program
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return (
+        telemetry.build_program(),
+        telemetry.runtime_config(),
+        telemetry.make_trace(3000),
+    )
+
+
+def test_dp_combination_selection(benchmark, inputs, record):
+    program, config, trace = inputs
+
+    evaluated = evaluate_candidates(
+        program, config, trace, telemetry.TARGET,
+        enumerate_candidates(program),
+    )
+    combo = benchmark.pedantic(
+        select_combination,
+        args=(evaluated,),
+        kwargs={"min_stage_savings": 2, "max_redirect_fraction": 0.10},
+        rounds=5,
+        iterations=1,
+    )
+
+    lines = [
+        "DP offload combination on the telemetry program",
+        f"{'segment':<14} {'saves':>6} {'redirect':>9}",
+    ]
+    for e in sorted(evaluated, key=lambda e: e.candidate.tables):
+        lines.append(
+            f"{'+'.join(e.candidate.tables):<14} {e.stages_saved:>6} "
+            f"{e.redirect_fraction:>8.2%}"
+        )
+    chosen = {t for e in combo for t in e.candidate.tables}
+    total = sum(e.redirect_fraction for e in combo)
+    lines.append("")
+    lines.append(
+        f"DP pick for >=2 saved stages: {{{', '.join(sorted(chosen))}}} "
+        f"at {total:.2%} total load"
+    )
+    record("dp_offload_combination", "\n".join(lines))
+
+    assert chosen == {"dns_hh", "ttl_probe"}
+
+
+def test_dp_combination_end_to_end(benchmark, inputs, record):
+    program, config, trace = inputs
+    outcome = benchmark.pedantic(
+        run_phase,
+        args=(program, config, trace, telemetry.TARGET),
+        kwargs={"min_stage_savings": 2, "allow_combination": True},
+        rounds=1,
+        iterations=1,
+    )
+    stages = compile_program(outcome.program, telemetry.TARGET).stages_used
+    record(
+        "dp_offload_end_to_end",
+        "Telemetry: 5 stages -> "
+        f"{stages} by offloading "
+        f"{len(outcome.combination)} segments "
+        f"({', '.join(t for e in outcome.combination for t in e.candidate.tables)})",
+    )
+    assert stages == 3
+    assert len(outcome.combination) == 2

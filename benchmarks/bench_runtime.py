@@ -1,0 +1,88 @@
+"""§4's runtime claim: "P2GO's runtime for profiling and analysis (i.e.,
+excluding compilation time) is in the order of tens of seconds."
+
+The bench times the profiling pass across trace sizes and the analysis
+(dependency graph + candidate search) separately from compilation, then
+checks the total stays within tens of seconds at the paper-scale trace.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.dependencies import build_dependency_graph
+from repro.core.phase_dependencies import find_removal_candidates
+from repro.core.profiler import Profiler
+from repro.programs import example_firewall as fw
+from repro.target import compile_program
+
+
+def test_simulator_throughput(benchmark, firewall_inputs, record):
+    """Raw behavioural-simulation speed (packets/second) — the substrate
+    cost under all profiling numbers."""
+    from repro.sim import BehavioralSwitch
+
+    program, config, trace, _target = firewall_inputs
+    switch = BehavioralSwitch(program, config)
+    chunk = trace[:2000]
+
+    def replay():
+        switch.reset_state()
+        switch.process_trace(chunk)
+
+    benchmark.pedantic(replay, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.mean
+    pps = len(chunk) / seconds
+    record(
+        "simulator_throughput",
+        f"Behavioural simulator: {pps:,.0f} packets/s on the Ex. 1 "
+        f"program ({len(program.tables)} tables)",
+    )
+
+
+@pytest.mark.parametrize("size", [1000, 5000, 10000])
+def test_profiling_runtime_scales_linearly(benchmark, size, record):
+    program = fw.build_program()
+    config = fw.runtime_config()
+    trace = fw.make_trace(size)
+    profiler = Profiler(program, config)
+
+    profile = benchmark.pedantic(
+        profiler.profile, args=(trace,), rounds=1, iterations=1
+    )
+    assert profile.total_packets == len(trace)
+
+
+def test_profiling_and_analysis_tens_of_seconds(
+    benchmark, firewall_inputs, record
+):
+    program, config, trace, target = firewall_inputs
+
+    t0 = time.perf_counter()
+    profile = benchmark.pedantic(
+        Profiler(program, config).profile, args=(trace,),
+        rounds=1, iterations=1,
+    )
+    profiling_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    result = compile_program(program, target)
+    compile_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    candidates = find_removal_candidates(result, profile)
+    analysis_seconds = time.perf_counter() - t0
+
+    lines = [
+        "Profiling & analysis runtime (paper: tens of seconds, excl. "
+        "compilation)",
+        f"  trace size:           {len(trace)} packets",
+        f"  profiling:            {profiling_seconds:6.2f} s",
+        f"  dependency analysis:  {analysis_seconds:6.2f} s",
+        f"  (compilation:         {compile_seconds:6.2f} s)",
+        f"  candidates found:     {len(candidates)}",
+    ]
+    record("runtime_profile_analysis", "\n".join(lines))
+
+    assert profiling_seconds + analysis_seconds < 60.0
+    assert candidates

@@ -1,0 +1,44 @@
+"""Table 2 — Ex. 1's stage count after every optimization phase.
+
+Paper:
+    Initial Program     IP IP AU AD S1 S2 SM DD   (8 stages)
+    Removing Deps.      IP IP [AU AD] S1 S2 SM DD (7 stages)
+    Reducing Memory     IP [AU AD] S1 S2 SM DD    (6 stages)
+    Offloading Code     IP [AU AD] C              (3 stages)
+
+The bench runs the full four-phase pipeline and times it end to end.
+"""
+
+import pytest
+
+from repro.core import P2GO
+from repro.core.report import stage_table
+
+PAPER_PROGRESSION = [8, 7, 6, 3]
+
+
+def test_table2_stage_progression(benchmark, firewall_inputs, record):
+    program, config, trace, target = firewall_inputs
+
+    result = benchmark.pedantic(
+        lambda: P2GO(program, config, trace, target).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+    measured = [o.stages for o in result.outcomes]
+    lines = [
+        "Table 2: stages per phase (paper vs measured)",
+        f"  paper:    {PAPER_PROGRESSION}",
+        f"  measured: {measured}",
+        "",
+        stage_table(result),
+    ]
+    record("table2_stage_progression", "\n".join(lines))
+
+    assert measured == PAPER_PROGRESSION
+
+    final = result.outcomes[-1].stage_map
+    assert final[0] == ["IPv4"]
+    assert final[1] == ["ACL_DHCP", "ACL_UDP"]
+    assert final[2] == ["To_Ctl"]

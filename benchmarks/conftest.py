@@ -1,0 +1,49 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and appends a
+human-readable rendition to ``benchmarks/results/<name>.txt`` so the
+numbers can be compared against the paper after a run (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """record(name, text) — save a bench's rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def firewall_inputs():
+    from repro.programs import example_firewall as fw
+
+    return (
+        fw.build_program(),
+        fw.runtime_config(),
+        fw.make_trace(10_000),
+        fw.TARGET,
+    )
+
+
+@pytest.fixture(scope="session")
+def firewall_pipeline_result(firewall_inputs):
+    from repro.core import P2GO
+
+    program, config, trace, target = firewall_inputs
+    return P2GO(program, config, trace, target).run()

@@ -1,0 +1,361 @@
+// program: enterprise
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+
+header_type dns_t {
+    fields {
+        id : 16;
+        flags : 16;
+        qdcount : 16;
+        ancount : 16;
+        nscount : 16;
+        arcount : 16;
+    }
+}
+
+header_type dhcp_t {
+    fields {
+        op : 8;
+        htype : 8;
+        hlen : 8;
+        hops : 8;
+        xid : 32;
+    }
+}
+
+header_type dns_cms_meta_t {
+    fields {
+        idx0 : 32;
+        count0 : 32;
+        idx1 : 32;
+        count1 : 32;
+        count : 32;
+    }
+}
+
+header_type sg_meta_t {
+    fields {
+        idx0 : 32;
+        bit0 : 8;
+        idx1 : 32;
+        bit1 : 8;
+    }
+}
+
+header_type syn_meta_t {
+    fields {
+        idx : 32;
+        count : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+header tcp_t tcp;
+header dns_t dns;
+header dhcp_t dhcp;
+metadata dns_cms_meta_t dns_cms_meta;
+metadata sg_meta_t sg_meta;
+metadata syn_meta_t syn_meta;
+
+register dns_cms_row0 {
+    width : 32;
+    instance_count : 960;
+}
+
+register dns_cms_row1 {
+    width : 32;
+    instance_count : 960;
+}
+
+register sg_array0 {
+    width : 8;
+    instance_count : 4096;
+}
+
+register sg_array1 {
+    width : 8;
+    instance_count : 4096;
+}
+
+register syn_reg {
+    width : 32;
+    instance_count : 960;
+}
+
+action ipv4_forward(port) {
+    set_egress_port(port);
+}
+
+action acl_udp_drop() {
+    drop();
+}
+
+action acl_dhcp_drop() {
+    drop();
+}
+
+action dns_drop() {
+    drop();
+}
+
+action sg_drop() {
+    drop();
+}
+
+action dns_cms_update0() {
+    hash(dns_cms_meta.idx0, crc32_a, {ipv4.srcAddr, ipv4.dstAddr}, size(dns_cms_row0));
+    register_read(dns_cms_meta.count0, dns_cms_row0, dns_cms_meta.idx0);
+    add_to_field(dns_cms_meta.count0, 1);
+    register_write(dns_cms_row0, dns_cms_meta.idx0, dns_cms_meta.count0);
+}
+
+action dns_cms_update1() {
+    hash(dns_cms_meta.idx1, crc32_b, {ipv4.srcAddr, ipv4.dstAddr}, size(dns_cms_row1));
+    register_read(dns_cms_meta.count1, dns_cms_row1, dns_cms_meta.idx1);
+    add_to_field(dns_cms_meta.count1, 1);
+    register_write(dns_cms_row1, dns_cms_meta.idx1, dns_cms_meta.count1);
+}
+
+action dns_cms_min_action() {
+    min(dns_cms_meta.count, dns_cms_meta.count0, dns_cms_meta.count1);
+}
+
+action sg_check0() {
+    hash(sg_meta.idx0, crc32_a, {ipv4.srcAddr}, size(sg_array0));
+    register_read(sg_meta.bit0, sg_array0, sg_meta.idx0);
+}
+
+action sg_check1() {
+    hash(sg_meta.idx1, crc32_b, {ipv4.srcAddr}, size(sg_array1));
+    register_read(sg_meta.bit1, sg_array1, sg_meta.idx1);
+}
+
+action syn_bump() {
+    hash(syn_meta.idx, crc32_d, {ipv4.dstAddr}, size(syn_reg));
+    register_read(syn_meta.count, syn_reg, syn_meta.idx);
+    add_to_field(syn_meta.count, 1);
+    register_write(syn_reg, syn_meta.idx, syn_meta.count);
+}
+
+table IPv4 {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        ipv4_forward;
+    }
+    default_action : NoAction;
+    size : 192;
+}
+
+table ACL_UDP {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        acl_udp_drop;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table ACL_DHCP {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        acl_dhcp_drop;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table Sketch_1 {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_cms_update0;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table Sketch_2 {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_cms_update1;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table Sketch_Min {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_cms_min_action;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table DNS_Drop {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_drop;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table sg_bf1 {
+    default_action : sg_check0;
+    size : 1024;
+}
+
+table sg_bf2 {
+    default_action : sg_check1;
+    size : 1024;
+}
+
+table sg_verdict {
+    reads {
+        sg_meta.bit0 : exact;
+        sg_meta.bit1 : exact;
+    }
+    actions {
+        sg_drop;
+    }
+    default_action : NoAction;
+    size : 8;
+}
+
+table syn_mon {
+    default_action : syn_bump;
+    size : 1024;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_tcp {
+    extract(tcp);
+    return accept;
+}
+
+parser parse_udp {
+    extract(udp);
+    return select(udp.dstPort) {
+        53 : parse_dns;
+        67 : parse_dhcp;
+        68 : parse_dhcp;
+        default : accept;
+    }
+}
+
+parser parse_dns {
+    extract(dns);
+    return accept;
+}
+
+parser parse_dhcp {
+    extract(dhcp);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(IPv4);
+    }
+    if (valid(udp)) {
+        apply(ACL_UDP);
+    }
+    if (valid(dhcp)) {
+        apply(ACL_DHCP);
+    }
+    if (valid(ipv4)) {
+        apply(sg_bf1);
+        apply(sg_bf2);
+        apply(sg_verdict);
+    }
+    if (valid(dns)) {
+        apply(Sketch_1);
+        apply(Sketch_2);
+        apply(Sketch_Min);
+        if ((dns_cms_meta.count >= 128)) {
+            apply(DNS_Drop);
+        }
+    }
+    if (((tcp.flags & 2) == 2)) {
+        apply(syn_mon);
+    }
+}

@@ -1,0 +1,255 @@
+// program: example_firewall
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type dns_t {
+    fields {
+        id : 16;
+        flags : 16;
+        qdcount : 16;
+        ancount : 16;
+        nscount : 16;
+        arcount : 16;
+    }
+}
+
+header_type dhcp_t {
+    fields {
+        op : 8;
+        htype : 8;
+        hlen : 8;
+        hops : 8;
+        xid : 32;
+    }
+}
+
+header_type dns_cms_meta_t {
+    fields {
+        idx0 : 32;
+        count0 : 32;
+        idx1 : 32;
+        count1 : 32;
+        count : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+header dns_t dns;
+header dhcp_t dhcp;
+metadata dns_cms_meta_t dns_cms_meta;
+
+register dns_cms_row0 {
+    width : 32;
+    instance_count : 960;
+}
+
+register dns_cms_row1 {
+    width : 32;
+    instance_count : 960;
+}
+
+action ipv4_forward(port) {
+    set_egress_port(port);
+}
+
+action ipv4_drop() {
+    drop();
+}
+
+action acl_udp_drop() {
+    drop();
+}
+
+action acl_dhcp_drop() {
+    drop();
+}
+
+action dns_drop() {
+    drop();
+}
+
+action dns_cms_update0() {
+    hash(dns_cms_meta.idx0, crc32_a, {ipv4.srcAddr, ipv4.dstAddr}, size(dns_cms_row0));
+    register_read(dns_cms_meta.count0, dns_cms_row0, dns_cms_meta.idx0);
+    add_to_field(dns_cms_meta.count0, 1);
+    register_write(dns_cms_row0, dns_cms_meta.idx0, dns_cms_meta.count0);
+}
+
+action dns_cms_update1() {
+    hash(dns_cms_meta.idx1, crc32_b, {ipv4.srcAddr, ipv4.dstAddr}, size(dns_cms_row1));
+    register_read(dns_cms_meta.count1, dns_cms_row1, dns_cms_meta.idx1);
+    add_to_field(dns_cms_meta.count1, 1);
+    register_write(dns_cms_row1, dns_cms_meta.idx1, dns_cms_meta.count1);
+}
+
+action dns_cms_min_action() {
+    min(dns_cms_meta.count, dns_cms_meta.count0, dns_cms_meta.count1);
+}
+
+table IPv4 {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        ipv4_forward;
+        ipv4_drop;
+    }
+    default_action : NoAction;
+    size : 192;
+}
+
+table ACL_UDP {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        acl_udp_drop;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table ACL_DHCP {
+    reads {
+        standard_metadata.ingress_port : exact;
+    }
+    actions {
+        acl_dhcp_drop;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table Sketch_1 {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_cms_update0;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table Sketch_2 {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_cms_update1;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table Sketch_Min {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_cms_min_action;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table DNS_Drop {
+    reads {
+        udp.dstPort : exact;
+    }
+    actions {
+        dns_drop;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_udp {
+    extract(udp);
+    return select(udp.dstPort) {
+        53 : parse_dns;
+        67 : parse_dhcp;
+        68 : parse_dhcp;
+        default : accept;
+    }
+}
+
+parser parse_dns {
+    extract(dns);
+    return accept;
+}
+
+parser parse_dhcp {
+    extract(dhcp);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(IPv4);
+    }
+    if (valid(udp)) {
+        apply(ACL_UDP);
+    }
+    if (valid(dhcp)) {
+        apply(ACL_DHCP);
+    }
+    if (valid(dns)) {
+        apply(Sketch_1);
+        apply(Sketch_2);
+        apply(Sketch_Min);
+        if ((dns_cms_meta.count >= 128)) {
+            apply(DNS_Drop);
+        }
+    }
+}

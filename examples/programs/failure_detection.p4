@@ -1,0 +1,163 @@
+// program: failure_detection
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+
+header_type fd_meta_t {
+    fields {
+        bf_idx : 32;
+        sig : 32;
+        old_sig : 32;
+        prefix : 32;
+        idx0 : 32;
+        idx1 : 32;
+        count0 : 32;
+        count1 : 32;
+        count : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+metadata fd_meta_t fd_meta;
+
+register retrans_bf {
+    width : 32;
+    instance_count : 960;
+}
+
+register cms_row0 {
+    width : 32;
+    instance_count : 960;
+}
+
+register cms_row1 {
+    width : 32;
+    instance_count : 960;
+}
+
+action bf_test_and_set() {
+    hash(fd_meta.bf_idx, crc32_c, {ipv4.srcAddr, ipv4.dstAddr, tcp.seqNo}, size(retrans_bf));
+    hash(fd_meta.sig, crc32_d, {ipv4.srcAddr, ipv4.dstAddr, tcp.seqNo}, 4294967296);
+    register_read(fd_meta.old_sig, retrans_bf, fd_meta.bf_idx);
+    register_write(retrans_bf, fd_meta.bf_idx, fd_meta.sig);
+}
+
+action cms_update0() {
+    modify_field(fd_meta.prefix, (ipv4.dstAddr & 4294901760));
+    hash(fd_meta.idx0, crc32_a, {fd_meta.prefix}, size(cms_row0));
+    register_read(fd_meta.count0, cms_row0, fd_meta.idx0);
+    add_to_field(fd_meta.count0, 1);
+    register_write(cms_row0, fd_meta.idx0, fd_meta.count0);
+}
+
+action cms_update1() {
+    modify_field(fd_meta.prefix, (ipv4.dstAddr & 4294901760));
+    hash(fd_meta.idx1, crc32_b, {fd_meta.prefix}, size(cms_row1));
+    register_read(fd_meta.count1, cms_row1, fd_meta.idx1);
+    add_to_field(fd_meta.count1, 1);
+    register_write(cms_row1, fd_meta.idx1, fd_meta.count1);
+    min(fd_meta.count, fd_meta.count0, fd_meta.count1);
+}
+
+action raise_alarm() {
+    send_to_controller(250);
+}
+
+table retrans_check {
+    default_action : bf_test_and_set;
+    size : 1024;
+}
+
+table cms_0 {
+    default_action : cms_update0;
+    size : 1024;
+}
+
+table cms_1 {
+    default_action : cms_update1;
+    size : 1024;
+}
+
+table FailureAlarm {
+    reads {
+        fd_meta.prefix : exact;
+    }
+    actions {
+        raise_alarm;
+    }
+    default_action : NoAction;
+    size : 32;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        default : accept;
+    }
+}
+
+parser parse_tcp {
+    extract(tcp);
+    return accept;
+}
+
+control ingress {
+    if (valid(tcp)) {
+        apply(retrans_check);
+        if ((fd_meta.old_sig == fd_meta.sig)) {
+            apply(cms_0);
+            apply(cms_1);
+            if ((fd_meta.count >= 8)) {
+                apply(FailureAlarm);
+            }
+        }
+    }
+}

@@ -1,0 +1,132 @@
+// program: nat_gre
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type gre_t {
+    fields {
+        flags : 16;
+        protocol : 16;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header gre_t gre;
+
+action nat_rewrite(inside_addr) {
+    modify_field(ipv4.dstAddr, inside_addr);
+}
+
+action gre_decap(inner_addr) {
+    remove_header(gre);
+    modify_field(ipv4.dstAddr, inner_addr);
+}
+
+action fwd(port) {
+    set_egress_port(port);
+}
+
+action l2_rewrite(smac) {
+    modify_field(ethernet.srcAddr, smac);
+}
+
+table nat {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        nat_rewrite;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table gre_term {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        gre_decap;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table ipv4_fib {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        fwd;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table l2 {
+    reads {
+        standard_metadata.egress_port : exact;
+    }
+    actions {
+        l2_rewrite;
+    }
+    default_action : NoAction;
+    size : 32;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        47 : parse_gre;
+        default : accept;
+    }
+}
+
+parser parse_gre {
+    extract(gre);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(nat);
+    }
+    if (valid(gre)) {
+        apply(gre_term);
+    }
+    if (valid(ipv4)) {
+        apply(ipv4_fib);
+        apply(l2);
+    }
+}

@@ -1,0 +1,142 @@
+// program: sourceguard
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type sg_meta_t {
+    fields {
+        idx0 : 32;
+        bit0 : 8;
+        idx1 : 32;
+        bit1 : 8;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+metadata sg_meta_t sg_meta;
+
+register sg_array0 {
+    width : 8;
+    instance_count : 4096;
+}
+
+register sg_array1 {
+    width : 8;
+    instance_count : 4096;
+}
+
+action fwd(port) {
+    set_egress_port(port);
+}
+
+action sg_drop() {
+    drop();
+}
+
+action sg_check0() {
+    hash(sg_meta.idx0, crc32_a, {ipv4.srcAddr}, size(sg_array0));
+    register_read(sg_meta.bit0, sg_array0, sg_meta.idx0);
+}
+
+action sg_check1() {
+    hash(sg_meta.idx1, crc32_b, {ipv4.srcAddr}, size(sg_array1));
+    register_read(sg_meta.bit1, sg_array1, sg_meta.idx1);
+}
+
+table ipv4_fib {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        fwd;
+    }
+    default_action : NoAction;
+    size : 160;
+}
+
+table sg_bf1 {
+    default_action : sg_check0;
+    size : 1024;
+}
+
+table sg_bf2 {
+    default_action : sg_check1;
+    size : 1024;
+}
+
+table sg_verdict {
+    reads {
+        sg_meta.bit0 : exact;
+        sg_meta.bit1 : exact;
+    }
+    actions {
+        sg_drop;
+    }
+    default_action : NoAction;
+    size : 8;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_udp {
+    extract(udp);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(ipv4_fib);
+    }
+    if (valid(ipv4)) {
+        apply(sg_bf1);
+        apply(sg_bf2);
+        apply(sg_verdict);
+    }
+}

@@ -1,0 +1,223 @@
+// program: telemetry
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+
+header_type dns_t {
+    fields {
+        id : 16;
+        flags : 16;
+        qdcount : 16;
+        ancount : 16;
+        nscount : 16;
+        arcount : 16;
+    }
+}
+
+header_type dns_hh_meta_t {
+    fields {
+        idx : 32;
+        count : 32;
+    }
+}
+
+header_type ttl_probe_meta_t {
+    fields {
+        idx : 32;
+        count : 32;
+    }
+}
+
+header_type syn_mon_meta_t {
+    fields {
+        idx : 32;
+        count : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+header tcp_t tcp;
+header dns_t dns;
+metadata dns_hh_meta_t dns_hh_meta;
+metadata ttl_probe_meta_t ttl_probe_meta;
+metadata syn_mon_meta_t syn_mon_meta;
+
+register dns_hh_reg {
+    width : 32;
+    instance_count : 960;
+}
+
+register ttl_probe_reg {
+    width : 32;
+    instance_count : 960;
+}
+
+register syn_mon_reg {
+    width : 32;
+    instance_count : 960;
+}
+
+action fwd(port) {
+    set_egress_port(port);
+}
+
+action l2_rewrite(smac) {
+    modify_field(ethernet.srcAddr, smac);
+}
+
+action dns_hh_bump() {
+    hash(dns_hh_meta.idx, crc32_a, {ipv4.srcAddr, ipv4.dstAddr}, size(dns_hh_reg));
+    register_read(dns_hh_meta.count, dns_hh_reg, dns_hh_meta.idx);
+    add_to_field(dns_hh_meta.count, 1);
+    register_write(dns_hh_reg, dns_hh_meta.idx, dns_hh_meta.count);
+}
+
+action ttl_probe_bump() {
+    hash(ttl_probe_meta.idx, crc32_b, {ipv4.srcAddr}, size(ttl_probe_reg));
+    register_read(ttl_probe_meta.count, ttl_probe_reg, ttl_probe_meta.idx);
+    add_to_field(ttl_probe_meta.count, 1);
+    register_write(ttl_probe_reg, ttl_probe_meta.idx, ttl_probe_meta.count);
+}
+
+action syn_mon_bump() {
+    hash(syn_mon_meta.idx, crc32_c, {ipv4.dstAddr}, size(syn_mon_reg));
+    register_read(syn_mon_meta.count, syn_mon_reg, syn_mon_meta.idx);
+    add_to_field(syn_mon_meta.count, 1);
+    register_write(syn_mon_reg, syn_mon_meta.idx, syn_mon_meta.count);
+}
+
+table ipv4_fib {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        fwd;
+    }
+    default_action : NoAction;
+    size : 192;
+}
+
+table l2 {
+    reads {
+        standard_metadata.egress_port : exact;
+    }
+    actions {
+        l2_rewrite;
+    }
+    default_action : NoAction;
+    size : 32;
+}
+
+table dns_hh {
+    default_action : dns_hh_bump;
+    size : 1024;
+}
+
+table ttl_probe {
+    default_action : ttl_probe_bump;
+    size : 1024;
+}
+
+table syn_mon {
+    default_action : syn_mon_bump;
+    size : 1024;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_tcp {
+    extract(tcp);
+    return accept;
+}
+
+parser parse_udp {
+    extract(udp);
+    return select(udp.dstPort) {
+        53 : parse_dns;
+        default : accept;
+    }
+}
+
+parser parse_dns {
+    extract(dns);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(ipv4_fib);
+        apply(l2);
+    }
+    if (valid(dns)) {
+        apply(dns_hh);
+    }
+    if ((not valid(udp) and (ipv4.ttl == 1))) {
+        apply(ttl_probe);
+    }
+    if (((tcp.flags & 2) == 2)) {
+        apply(syn_mon);
+    }
+}

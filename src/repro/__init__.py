@@ -1,0 +1,62 @@
+"""P2GO: P4 Profile-Guided Optimizations — a full Python reproduction.
+
+Reproduces Wintermeyer et al., *P2GO: P4 Profile-Guided Optimizations*
+(HotNets 2020), including every substrate the prototype depends on: a P4
+IR + textual DSL, a behavioural switch simulator, an RMT-style pipeline
+compiler with dependency analysis and stage allocation, packet crafting
+and pcap I/O, data-plane sketches, a software controller for offloaded
+segments, and P5-style / static baselines.
+
+Quickstart::
+
+    from repro import P2GO, render_report
+    from repro.programs import example_firewall as fw
+
+    result = P2GO(
+        fw.build_program(), fw.runtime_config(),
+        fw.make_trace(), fw.TARGET,
+    ).run()
+    print(render_report(result))
+"""
+
+from repro.core import (
+    P2GO,
+    P2GOResult,
+    Profile,
+    Profiler,
+    instrument,
+    optimize,
+    profile_program,
+    render_report,
+    stage_table,
+    summary_line,
+)
+from repro.exceptions import ReproError
+from repro.p4 import Program, ProgramBuilder
+from repro.sim import BehavioralSwitch, RuntimeConfig, TableEntry
+from repro.target import CompileResult, TargetModel, compile_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BehavioralSwitch",
+    "CompileResult",
+    "P2GO",
+    "P2GOResult",
+    "Profile",
+    "Profiler",
+    "Program",
+    "ProgramBuilder",
+    "ReproError",
+    "RuntimeConfig",
+    "TableEntry",
+    "TargetModel",
+    "compile_program",
+    "instrument",
+    "optimize",
+    "profile_program",
+    "render_report",
+    "stage_table",
+    "summary_line",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Static analysis: control graph, mutual exclusivity, dependency graph."""
+
+from repro.analysis.control_graph import (
+    ApplyEvent,
+    CondEvent,
+    ControlGraph,
+    ExecutionPath,
+)
+from repro.analysis.dependencies import (
+    Dependency,
+    DependencyCause,
+    DependencyGraph,
+    DependencyKind,
+    FigureEdge,
+    build_dependency_graph,
+    figure_edges,
+)
+from repro.analysis.graph import CycleError, Digraph
+
+__all__ = [
+    "ApplyEvent",
+    "CondEvent",
+    "ControlGraph",
+    "CycleError",
+    "Dependency",
+    "DependencyCause",
+    "DependencyGraph",
+    "DependencyKind",
+    "Digraph",
+    "ExecutionPath",
+    "FigureEdge",
+    "build_dependency_graph",
+    "figure_edges",
+]

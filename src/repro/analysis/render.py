@@ -1,0 +1,86 @@
+"""Render analysis artifacts as Graphviz dot (no external dependency —
+the output is plain text a user feeds to ``dot -Tpdf``).
+
+Reproduces the paper's Fig. 1 presentation: tables as boxes, guarding
+conditions as diamonds, with the paper's three edge styles — action
+dependencies dash-dotted, match dependencies dashed, control edges solid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.dependencies import figure_edges
+from repro.p4.program import Program
+
+_EDGE_STYLE = {
+    "action": 'style=dashdotted, color="violet"',
+    "match": 'style=dashed, color="blue"',
+    "reverse": 'style=dotted, color="gray"',
+    "control": 'color="black"',
+}
+
+
+def _node_id(label: str, ids: Dict[str, str]) -> str:
+    if label not in ids:
+        ids[label] = f"n{len(ids)}"
+    return ids[label]
+
+
+def dependency_graph_dot(program: Program, title: str = "") -> str:
+    """Fig. 1-style dot source for the program's dependency graph."""
+    edges = figure_edges(program)
+    condition_labels = {
+        e.src for e in edges if e.kind == "control"
+    } | {e.dst for e in edges if e.kind == "match" and e.dst.startswith("(")}
+    tables = set(program.tables)
+
+    ids: Dict[str, str] = {}
+    lines: List[str] = [
+        "digraph dependencies {",
+        "    rankdir=TB;",
+        '    node [fontname="Helvetica"];',
+    ]
+    if title:
+        lines.append(f'    label="{title}"; labelloc=t;')
+    referenced = set()
+    for edge in edges:
+        referenced.add(edge.src)
+        referenced.add(edge.dst)
+    for label in sorted(referenced):
+        node = _node_id(label, ids)
+        if label in tables:
+            lines.append(f'    {node} [shape=box, label="{label}"];')
+        else:
+            escaped = label.replace('"', '\\"')
+            lines.append(
+                f'    {node} [shape=diamond, label="{escaped}"];'
+            )
+    for edge in sorted(edges, key=lambda e: (e.src, e.dst, e.kind)):
+        style = _EDGE_STYLE.get(edge.kind, "")
+        lines.append(
+            f"    {_node_id(edge.src, ids)} -> "
+            f"{_node_id(edge.dst, ids)} [{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def stage_map_dot(stage_map: List[List[str]], title: str = "") -> str:
+    """A Table 2-style pipeline rendering: one record node per stage."""
+    lines = [
+        "digraph stages {",
+        "    rankdir=LR;",
+        '    node [shape=record, fontname="Helvetica"];',
+    ]
+    if title:
+        lines.append(f'    label="{title}"; labelloc=t;')
+    for index, tables in enumerate(stage_map):
+        content = "\\n".join(tables) if tables else "-"
+        lines.append(
+            f'    s{index} [label="stage {index + 1}|{content}"];'
+        )
+    for index in range(len(stage_map) - 1):
+        lines.append(f"    s{index} -> s{index + 1};")
+    lines.append("}")
+    return "\n".join(lines)

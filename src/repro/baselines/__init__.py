@@ -1,0 +1,18 @@
+"""Comparison baselines: the static compiler and a P5-style optimizer."""
+
+from repro.baselines.p5 import (
+    P5Result,
+    Policy,
+    deactivate_feature_blocks,
+    optimize_with_policy,
+)
+from repro.baselines.static_only import StaticResult, compile_static
+
+__all__ = [
+    "P5Result",
+    "Policy",
+    "StaticResult",
+    "compile_static",
+    "deactivate_feature_blocks",
+    "optimize_with_policy",
+]

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the paper's prototype is driven (Fig. 2's inputs): a P4
+program (DSL file), a runtime configuration (JSON), and a traffic trace
+(pcap).
+
+Commands:
+
+* ``compile PROGRAM`` — stage map / fit report for a target.
+* ``profile PROGRAM --config CFG --trace PCAP`` — phase 1 on its own.
+* ``optimize PROGRAM --config CFG --trace PCAP`` — the full pipeline;
+  writes the optimized program (DSL) and the observation report.
+* ``demo NAME`` — run a built-in evaluation scenario end to end.
+
+Runtime-config JSON schema::
+
+    {
+      "entries": {
+        "<table>": [
+          {"match": [<int> | [value, len_or_mask], ...],
+           "action": "<name>", "args": [<int>, ...], "priority": 0}
+        ]
+      },
+      "defaults": {"<table>": {"action": "<name>", "args": []}},
+      "register_inits": [["<register>", <index>, <value>], ...],
+      "hashed_inits": [["<register>", "<algo>",
+                        [[<value>, <width>], ...], <value>], ...]
+    }
+
+Target JSON (all fields optional, defaults = the generic RMT model)::
+
+    {"num_stages": 12, "sram_blocks_per_stage": 16, ...}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core.pipeline import P2GO
+from repro.core.profiler import Profiler
+from repro.core.report import render_report, stage_table
+from repro.exceptions import ReproError
+from repro.p4.dsl import parse_program, print_program
+from repro.packets.pcap import read_pcap
+from repro.sim.runtime import RuntimeConfig
+from repro.target.compiler import compile_program
+from repro.target.model import DEFAULT_TARGET, TargetModel
+
+
+def load_program(path: str):
+    source = Path(path).read_text()
+    return parse_program(source, name=Path(path).stem)
+
+
+def load_target(path: Optional[str]) -> TargetModel:
+    if path is None:
+        return DEFAULT_TARGET
+    data = json.loads(Path(path).read_text())
+    return TargetModel(**data)
+
+
+def load_config(path: Optional[str]) -> RuntimeConfig:
+    if path is None:
+        return RuntimeConfig()
+    data = json.loads(Path(path).read_text())
+    config = RuntimeConfig()
+    for table, entries in data.get("entries", {}).items():
+        for entry in entries:
+            match = [
+                tuple(m) if isinstance(m, list) else m
+                for m in entry["match"]
+            ]
+            config.add_entry(
+                table,
+                match,
+                entry["action"],
+                entry.get("args", []),
+                entry.get("priority", 0),
+            )
+    for table, default in data.get("defaults", {}).items():
+        config.set_default(table, default["action"], default.get("args", []))
+    for register, index, value in data.get("register_inits", []):
+        config.init_register(register, index, value)
+    for register, algo, key, value in data.get("hashed_inits", []):
+        config.init_register_hashed(
+            register, algo, [tuple(k) for k in key], value
+        )
+    return config
+
+
+def load_trace(path: str) -> List[bytes]:
+    return [record.data for record in read_pcap(path)]
+
+
+# ----------------------------------------------------------------------
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    target = load_target(args.target)
+    result = compile_program(program, target)
+    print(result.summary())
+    return 0 if result.fits else 2
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    config = load_config(args.config)
+    trace = load_trace(args.trace)
+    profile = Profiler(program, config).profile(trace)
+    print(f"profiled {profile.total_packets} packets")
+    print(f"{'table':<24} {'hit rate':>9} {'apply rate':>11}")
+    for table in program.tables_in_control_order():
+        print(
+            f"{table:<24} {profile.hit_rate(table):>8.2%} "
+            f"{profile.apply_rate(table):>10.2%}"
+        )
+    print("\nnon-exclusive action sets (multi-table, by table):")
+    seen = set()
+    for group in profile.hit_action_sets():
+        tables = tuple(sorted({pair[0] for pair in group}))
+        if len(tables) > 1 and tables not in seen:
+            seen.add(tables)
+            print("  {" + ", ".join(tables) + "}")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    program = load_program(args.program)
+    config = load_config(args.config)
+    target = load_target(args.target)
+    trace = load_trace(args.trace)
+    phases = tuple(int(p) for p in args.phases.split(","))
+    result = P2GO(
+        program,
+        config,
+        trace,
+        target,
+        phases=phases,
+        max_redirect_fraction=args.max_redirect,
+    ).run()
+    print(render_report(result))
+    if args.output:
+        Path(args.output).write_text(
+            print_program(result.optimized_program)
+        )
+        print(f"optimized program written to {args.output}")
+    if args.report:
+        Path(args.report).write_text(render_report(result))
+        print(f"report written to {args.report}")
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.programs import (
+        example_firewall,
+        failure_detection,
+        nat_gre,
+        sourceguard,
+        telemetry,
+    )
+
+    modules = {
+        "example_firewall": example_firewall,
+        "nat_gre": nat_gre,
+        "sourceguard": sourceguard,
+        "failure_detection": failure_detection,
+        "telemetry": telemetry,
+    }
+    if args.name not in modules:
+        print(f"unknown demo {args.name!r}; available: "
+              + ", ".join(sorted(modules)), file=sys.stderr)
+        return 2
+    module = modules[args.name]
+    program = module.build_program()
+    config = (
+        module.runtime_config(program)
+        if args.name == "sourceguard"
+        else module.runtime_config()
+    )
+    result = P2GO(
+        program, config, module.make_trace(), module.TARGET
+    ).run()
+    print(stage_table(result))
+    print()
+    for obs in result.observations.optimizations():
+        print(f"* {obs.title}")
+    return 0
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P2GO: profile-guided optimization of P4 programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and show stage map")
+    p_compile.add_argument("program", help="P4 DSL file")
+    p_compile.add_argument("--target", help="target model JSON")
+    p_compile.set_defaults(func=cmd_compile)
+
+    p_profile = sub.add_parser("profile", help="profile on a trace")
+    p_profile.add_argument("program")
+    p_profile.add_argument("--config", help="runtime config JSON")
+    p_profile.add_argument("--trace", required=True, help="pcap trace")
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_opt = sub.add_parser("optimize", help="run the P2GO pipeline")
+    p_opt.add_argument("program")
+    p_opt.add_argument("--config", help="runtime config JSON")
+    p_opt.add_argument("--trace", required=True, help="pcap trace")
+    p_opt.add_argument("--target", help="target model JSON")
+    p_opt.add_argument("--phases", default="2,3,4",
+                       help="comma-separated phase order (default 2,3,4)")
+    p_opt.add_argument("--max-redirect", type=float, default=0.10,
+                       help="controller-load budget (default 0.10)")
+    p_opt.add_argument("-o", "--output", help="write optimized DSL here")
+    p_opt.add_argument("--report", help="write the report here")
+    p_opt.set_defaults(func=cmd_optimize)
+
+    p_demo = sub.add_parser("demo", help="run a built-in scenario")
+    p_demo.add_argument("name")
+    p_demo.set_defaults(func=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

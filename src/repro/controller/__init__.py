@@ -1,0 +1,21 @@
+"""Software controller: offloaded-segment runtime and equivalence checks."""
+
+from repro.controller.equivalence import (
+    EquivalenceReport,
+    compare_behavior,
+    compare_with_offload,
+)
+from repro.controller.offload_runtime import (
+    ControllerStats,
+    OffloadController,
+    segment_program,
+)
+
+__all__ = [
+    "ControllerStats",
+    "EquivalenceReport",
+    "OffloadController",
+    "compare_behavior",
+    "compare_with_offload",
+    "segment_program",
+]

@@ -1,0 +1,57 @@
+"""P2GO core: instrumentation, profiling, and the optimization phases."""
+
+from repro.core.drift import (
+    DriftDetector,
+    DriftFinding,
+    DriftKind,
+    DriftReport,
+)
+from repro.core.instrument import InstrumentedProgram, instrument
+from repro.core.online import AlertKind, OnlineAlert, OnlineProfiler
+from repro.core.observations import (
+    Observation,
+    ObservationKind,
+    ObservationLog,
+    Phase,
+)
+from repro.core.pipeline import P2GO, P2GOResult, PhaseOutcome, optimize
+from repro.core.profiler import Profile, Profiler, ProfilingRun, profile_program
+from repro.core.report import render_report, stage_table, summary_line
+
+from repro.core.runtime_guard import (
+    DependencyGuard,
+    add_dependency_guard,
+    guard_notifications,
+    mirror_guard_entries,
+)
+
+__all__ = [
+    "AlertKind",
+    "DependencyGuard",
+    "OnlineAlert",
+    "OnlineProfiler",
+    "DriftDetector",
+    "DriftFinding",
+    "DriftKind",
+    "DriftReport",
+    "InstrumentedProgram",
+    "add_dependency_guard",
+    "guard_notifications",
+    "mirror_guard_entries",
+    "Observation",
+    "ObservationKind",
+    "ObservationLog",
+    "P2GO",
+    "P2GOResult",
+    "Phase",
+    "PhaseOutcome",
+    "Profile",
+    "Profiler",
+    "ProfilingRun",
+    "instrument",
+    "optimize",
+    "profile_program",
+    "render_report",
+    "stage_table",
+    "summary_line",
+]

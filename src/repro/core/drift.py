@@ -1,0 +1,137 @@
+"""Profile drift detection (§6, "dynamic compilation").
+
+P2GO's optimizations hold "for as long as the computed profile remains
+representative".  This module implements the first step of the paper's
+future-work agenda: given the profile the optimizations were derived from
+and a *fresh* trace, re-check every profile-based observation and flag
+the ones the new traffic violates — the trigger for re-running P2GO.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+from typing import List, Optional, Sequence
+
+from repro.analysis.dependencies import Dependency
+from repro.core.phase_dependencies import dependency_manifests
+from repro.core.profiler import Profile, Profiler
+from repro.p4.program import Program
+from repro.sim.runtime import RuntimeConfig
+from repro.traffic.generators import TracePacket
+
+
+class DriftKind(enum.Enum):
+    #: A removed dependency now manifests in live traffic.
+    DEPENDENCY_MANIFESTS = "dependency_manifests"
+    #: An offloaded segment redirects more traffic than budgeted.
+    CONTROLLER_OVERLOAD = "controller_overload"
+    #: A table's hit rate moved beyond tolerance.
+    HIT_RATE_SHIFT = "hit_rate_shift"
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One violated observation."""
+
+    kind: DriftKind
+    subject: str
+    details: str
+
+
+@dataclass
+class DriftReport:
+    """Outcome of re-checking a profile against fresh traffic."""
+
+    findings: List[DriftFinding] = dc_field(default_factory=list)
+
+    @property
+    def drifted(self) -> bool:
+        return bool(self.findings)
+
+    def render(self) -> str:
+        if not self.findings:
+            return "no drift: every optimization-time observation holds"
+        lines = [f"{len(self.findings)} observation(s) violated:"]
+        for f in self.findings:
+            lines.append(f"  [{f.kind.value}] {f.subject}: {f.details}")
+        return "\n".join(lines)
+
+
+class DriftDetector:
+    """Re-validates optimization-time observations on fresh traffic.
+
+    Construct it with the *original* program and config (profiling runs
+    against the unoptimized semantics, which define correctness), the
+    baseline profile, and the evidence to watch: removed dependencies and
+    the offloaded redirect budget.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: RuntimeConfig,
+        baseline: Profile,
+        removed_dependencies: Sequence[Dependency] = (),
+        offload_tables: Sequence[str] = (),
+        offload_budget: Optional[float] = None,
+        hit_rate_tolerance: float = 0.05,
+    ):
+        self.program = program
+        self.config = config
+        self.baseline = baseline
+        self.removed_dependencies = tuple(removed_dependencies)
+        self.offload_tables = tuple(offload_tables)
+        self.offload_budget = offload_budget
+        self.hit_rate_tolerance = hit_rate_tolerance
+
+    def check(self, fresh_trace: Sequence[TracePacket]) -> DriftReport:
+        fresh = Profiler(self.program, self.config).profile(fresh_trace)
+        report = DriftReport()
+
+        for dep in self.removed_dependencies:
+            if dependency_manifests(dep, fresh):
+                report.findings.append(
+                    DriftFinding(
+                        kind=DriftKind.DEPENDENCY_MANIFESTS,
+                        subject=f"{dep.src} -> {dep.dst}",
+                        details=(
+                            "the fresh trace contains packets exercising "
+                            "both tables' conflicting actions; the phase-2 "
+                            "rewrite now changes behaviour for them"
+                        ),
+                    )
+                )
+
+        if self.offload_tables and self.offload_budget is not None:
+            # Redirected traffic = packets that traverse any offloaded
+            # table in the original semantics.
+            redirect = max(
+                (fresh.apply_rate(t) for t in self.offload_tables),
+                default=0.0,
+            )
+            if redirect > self.offload_budget:
+                report.findings.append(
+                    DriftFinding(
+                        kind=DriftKind.CONTROLLER_OVERLOAD,
+                        subject=", ".join(self.offload_tables),
+                        details=(
+                            f"fresh traffic reaches the offloaded segment "
+                            f"at {redirect:.1%}, above the "
+                            f"{self.offload_budget:.1%} budget"
+                        ),
+                    )
+                )
+
+        for table in self.program.tables:
+            old = self.baseline.hit_rate(table)
+            new = fresh.hit_rate(table)
+            if abs(new - old) > self.hit_rate_tolerance:
+                report.findings.append(
+                    DriftFinding(
+                        kind=DriftKind.HIT_RATE_SHIFT,
+                        subject=table,
+                        details=f"hit rate {old:.1%} -> {new:.1%}",
+                    )
+                )
+        return report

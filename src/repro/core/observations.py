@@ -1,0 +1,75 @@
+"""Observations: the evidence P2GO reports alongside each optimization.
+
+P2GO "returns the adaptations it made to the original program together
+with the profile-based observations that guided each individual change"
+(§1).  The programmer reviews these and accepts or rejects each change —
+so every phase produces :class:`Observation` records, and the pipeline
+exposes a review hook.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Dict, List
+
+
+class Phase(enum.Enum):
+    PROFILING = 1
+    REMOVE_DEPENDENCIES = 2
+    REDUCE_MEMORY = 3
+    OFFLOAD_CODE = 4
+
+
+class ObservationKind(enum.Enum):
+    #: Profiling evidence (hit rates, non-exclusive sets).
+    PROFILE = "profile"
+    #: A change applied to the program.
+    OPTIMIZATION = "optimization"
+    #: A change considered but discarded, with the reason.
+    REJECTED = "rejected"
+    #: Informational (no change implied).
+    NOTE = "note"
+
+
+@dataclass
+class Observation:
+    """One reviewable fact: what P2GO saw and what it did about it."""
+
+    phase: Phase
+    kind: ObservationKind
+    title: str
+    details: str
+    evidence: Dict[str, Any] = dc_field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"[phase {self.phase.value}:{self.phase.name.lower()}] "
+            f"{self.kind.value.upper()}: {self.title}",
+            f"  {self.details}",
+        ]
+        for key in sorted(self.evidence):
+            lines.append(f"  - {key}: {self.evidence[key]}")
+        return "\n".join(lines)
+
+
+class ObservationLog:
+    """Append-only log shared by the pipeline's phases."""
+
+    def __init__(self) -> None:
+        self.items: List[Observation] = []
+
+    def add(self, observation: Observation) -> Observation:
+        self.items.append(observation)
+        return observation
+
+    def by_phase(self, phase: Phase) -> List[Observation]:
+        return [o for o in self.items if o.phase is phase]
+
+    def optimizations(self) -> List[Observation]:
+        return [
+            o for o in self.items if o.kind is ObservationKind.OPTIMIZATION
+        ]
+
+    def render(self) -> str:
+        return "\n\n".join(o.render() for o in self.items)

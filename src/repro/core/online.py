@@ -1,0 +1,177 @@
+"""Online profiling (§6, "dynamic compilation").
+
+The paper's future-work direction: "online profiling in which we would
+instrument the program with monitoring instructions that update the
+profile at runtime ... enables real-time adaptation of programs".
+
+This module implements the monitoring half: an :class:`OnlineProfiler`
+runs the *instrumented* program (the same §3.1 instrumentation the
+offline profiler uses — the "monitoring instructions") and maintains
+streaming statistics over a sliding window.  Against a baseline profile
+it raises alerts the moment live traffic invalidates an optimization-time
+observation:
+
+* a **new non-exclusive action combination** appears (e.g. the two ACL
+  drops fire on one packet — a removed dependency just manifested),
+* a table's **windowed hit rate drifts** beyond tolerance.
+
+Reacting (re-running P2GO, reloading the program) stays with the caller,
+mirroring the paper's cost trade-off discussion.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.instrument import instrument
+from repro.core.profiler import Profile
+from repro.p4.program import Program
+from repro.sim.runtime import RuntimeConfig
+from repro.sim.switch import BehavioralSwitch, SwitchResult
+
+ActionPair = Tuple[str, str]
+
+
+class AlertKind(enum.Enum):
+    NEW_ACTION_COMBINATION = "new_action_combination"
+    HIT_RATE_DRIFT = "hit_rate_drift"
+
+
+@dataclass(frozen=True)
+class OnlineAlert:
+    kind: AlertKind
+    subject: str
+    details: str
+    packet_index: int
+
+
+AlertCallback = Callable[[OnlineAlert], None]
+
+
+class OnlineProfiler:
+    """Live per-packet profiling with sliding-window drift alerts."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: RuntimeConfig,
+        baseline: Optional[Profile] = None,
+        window: int = 1000,
+        hit_rate_tolerance: float = 0.10,
+        alert_callback: Optional[AlertCallback] = None,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self._instrumented = instrument(program)
+        self._switch = BehavioralSwitch(
+            self._instrumented.program,
+            self._instrumented.adapt_config(config),
+        )
+        self.program = program
+        self.baseline = baseline
+        self.window = window
+        self.hit_rate_tolerance = hit_rate_tolerance
+        self.alert_callback = alert_callback
+
+        self._packets_seen = 0
+        self._window_hits: Deque[FrozenSet[str]] = deque(maxlen=window)
+        self._hit_counts: Dict[str, int] = {}
+        self._seen_combinations: Set[FrozenSet[ActionPair]] = set(
+            baseline.nonexclusive_sets
+        ) if baseline is not None else set()
+        self._drifting: Set[str] = set()
+        self.alerts: List[OnlineAlert] = []
+
+    # ------------------------------------------------------------------
+    def _emit(self, alert: OnlineAlert) -> None:
+        self.alerts.append(alert)
+        if self.alert_callback is not None:
+            self.alert_callback(alert)
+
+    def process(self, data: bytes, ingress_port: int = 0) -> SwitchResult:
+        """Forward one packet and update the live profile."""
+        result = self._switch.process(data, ingress_port)
+        index = self._packets_seen
+        self._packets_seen += 1
+
+        pairs = frozenset(
+            self._instrumented.decode_result_bits(result.headers)
+        )
+        hit_tables = frozenset(
+            step.table for step in result.steps if step.hit
+        )
+
+        # Maintain the sliding window of hit sets.
+        if len(self._window_hits) == self.window:
+            evicted = self._window_hits[0]
+            for table in evicted:
+                self._hit_counts[table] -= 1
+        self._window_hits.append(hit_tables)
+        for table in hit_tables:
+            self._hit_counts[table] = self._hit_counts.get(table, 0) + 1
+
+        # Alert on never-before-seen action combinations.
+        if self.baseline is not None and len(pairs) > 1:
+            if pairs not in self._seen_combinations:
+                self._seen_combinations.add(pairs)
+                hits_only = {p for p in pairs if p[0] in hit_tables}
+                if len({p[0] for p in hits_only}) > 1:
+                    self._emit(
+                        OnlineAlert(
+                            kind=AlertKind.NEW_ACTION_COMBINATION,
+                            subject=", ".join(
+                                sorted(f"{t}.{a}" for t, a in hits_only)
+                            ),
+                            details=(
+                                "action combination never observed during "
+                                "offline profiling"
+                            ),
+                            packet_index=index,
+                        )
+                    )
+
+        # Windowed hit-rate drift, once the window is full.
+        if (
+            self.baseline is not None
+            and len(self._window_hits) == self.window
+        ):
+            for table in self.program.tables:
+                live = self.window_hit_rate(table)
+                base = self.baseline.hit_rate(table)
+                if abs(live - base) > self.hit_rate_tolerance:
+                    if table not in self._drifting:
+                        self._drifting.add(table)
+                        self._emit(
+                            OnlineAlert(
+                                kind=AlertKind.HIT_RATE_DRIFT,
+                                subject=table,
+                                details=(
+                                    f"windowed hit rate {live:.1%} vs "
+                                    f"baseline {base:.1%}"
+                                ),
+                                packet_index=index,
+                            )
+                        )
+                else:
+                    self._drifting.discard(table)
+        return result
+
+    # ------------------------------------------------------------------
+    def window_hit_rate(self, table: str) -> float:
+        if not self._window_hits:
+            return 0.0
+        return self._hit_counts.get(table, 0) / len(self._window_hits)
+
+    @property
+    def packets_seen(self) -> int:
+        return self._packets_seen
+
+    def snapshot(self) -> Dict[str, float]:
+        """Current windowed hit rates for every table."""
+        return {
+            table: self.window_hit_rate(table)
+            for table in self.program.tables
+        }

@@ -1,0 +1,356 @@
+"""Phase 2 — removing dependencies that do not manifest (§3.2).
+
+Candidates are dependencies on the longest path of the TDG (only those can
+shorten the pipeline).  A candidate is removable when none of its causes
+manifests in the profile: for an ACTION cause, the two conflicting actions
+were never applied to the same packet; for a MATCH cause, the writing
+action never co-executed with *any* application of the consumer.
+
+The removal rewrite is the paper's: "adds a conditional statement such
+that one of the dependent tables is only applied if the other misses."
+Concretely, the consumer's guarded apply is relocated into the source
+table's miss branch — legal only when the parser proves the consumer's
+guard implies the source's guard (e.g. every DHCP packet is a UDP packet),
+so no packet is orphaned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dependencies import (
+    Dependency,
+    DependencyKind,
+)
+from repro.core.observations import (
+    Observation,
+    ObservationKind,
+    Phase,
+)
+from repro.core.profiler import Profile
+from repro.exceptions import OptimizationError
+from repro.p4.control import (
+    Apply,
+    ControlNode,
+    If,
+    Seq,
+    find_apply,
+    iter_nodes,
+)
+from repro.p4.expressions import LNot, ValidExpr
+from repro.p4.program import Program
+from repro.target.compiler import CompileResult
+
+
+def dependency_manifests(dep: Dependency, profile: Profile) -> bool:
+    """Does any cause of this dependency show up in the profile?"""
+    for cause in dep.causes:
+        if cause.kind in (DependencyKind.SUCCESSOR, DependencyKind.REVERSE):
+            # Pure ordering constraints (no stage separation); the
+            # apply-on-miss rewrite preserves execution order, so these
+            # never block a removal.
+            continue
+        src_pair = (dep.src, cause.src_action)
+        if cause.kind is DependencyKind.ACTION:
+            assert cause.dst_action is not None
+            if profile.actions_coapplied(
+                src_pair, (dep.dst, cause.dst_action)
+            ):
+                return True
+        else:  # MATCH: the consumer's match phase reads the written field.
+            if profile.action_coapplied_with_table(src_pair, dep.dst):
+                return True
+    return False
+
+
+@dataclass
+class RemovableDependency:
+    """A phase-2 candidate with the evidence that justifies removing it."""
+
+    dependency: Dependency
+    evidence: str
+
+
+def find_removal_candidates(
+    compile_result: CompileResult, profile: Profile
+) -> List[RemovableDependency]:
+    """Unmanifested dependencies on the TDG's longest path."""
+    candidates = []
+    for dep in compile_result.dependency_graph.critical_dependencies():
+        if dep.min_stage_separation == 0:
+            continue  # zero stage separation already (successor/reverse)
+        if dependency_manifests(dep, profile):
+            continue
+        causes = ", ".join(
+            f"{c.src_action}/{c.dst_action or '<match>'} on "
+            f"{{{', '.join(sorted(c.fields)) or ', '.join(sorted(c.registers))}}}"
+            for c in dep.causes
+            if c.kind
+            not in (DependencyKind.SUCCESSOR, DependencyKind.REVERSE)
+        )
+        candidates.append(
+            RemovableDependency(
+                dependency=dep,
+                evidence=(
+                    f"no packet in the trace exercised the conflicting "
+                    f"action pairs ({causes})"
+                ),
+            )
+        )
+    candidates.sort(key=lambda c: (c.dependency.src, c.dependency.dst))
+    return candidates
+
+
+# ----------------------------------------------------------------------
+# The rewrite
+
+
+def _parents(root: ControlNode) -> Dict[int, ControlNode]:
+    """Map id(node) -> parent for the whole tree."""
+    parents: Dict[int, ControlNode] = {}
+    for node in iter_nodes(root):
+        for child in node.children():
+            parents[id(child)] = node
+    return parents
+
+
+def _relocation_unit(
+    root: ControlNode, apply_node: Apply, parents: Dict[int, ControlNode]
+) -> ControlNode:
+    """The guarded subtree to relocate: the apply plus any enclosing Ifs
+    whose entire body is just this chain (e.g. ``if valid(dhcp)
+    apply(ACL_DHCP)``)."""
+    unit: ControlNode = apply_node
+    while True:
+        parent = parents.get(id(unit))
+        if (
+            isinstance(parent, If)
+            and parent.then_node is unit
+            and parent.else_node is None
+        ):
+            unit = parent
+            continue
+        return unit
+
+
+def _enclosing_unit(
+    node: ControlNode, parents: Dict[int, ControlNode]
+) -> ControlNode:
+    """Climb through If wrappers to the element sitting in a Seq."""
+    unit = node
+    while True:
+        parent = parents.get(id(unit))
+        if isinstance(parent, If):
+            unit = parent
+            continue
+        return unit
+
+
+def _guard_validity(
+    node: ControlNode, parents: Dict[int, ControlNode]
+) -> Optional[Set[Tuple[str, bool]]]:
+    """Validity constraints from the guards enclosing ``node``.
+
+    Returns None when a guard is not a plain validity test (we cannot
+    reason about arbitrary conditions with the parser alone).
+    """
+    constraints: Set[Tuple[str, bool]] = set()
+    current = node
+    while True:
+        parent = parents.get(id(current))
+        if parent is None:
+            return constraints
+        if isinstance(parent, If):
+            cond = parent.condition
+            if isinstance(cond, ValidExpr):
+                if parent.then_node is current:
+                    constraints.add((cond.header, True))
+                else:
+                    constraints.add((cond.header, False))
+            elif isinstance(cond, LNot) and isinstance(
+                cond.operand, ValidExpr
+            ):
+                if parent.then_node is current:
+                    constraints.add((cond.operand.header, False))
+                else:
+                    constraints.add((cond.operand.header, True))
+            else:
+                return None
+        if isinstance(parent, Apply):
+            # Inside someone's hit/miss branch: runtime-dependent guard.
+            return None
+        current = parent
+
+
+def _implies(
+    program: Program,
+    premise: Set[Tuple[str, bool]],
+    conclusion: Set[Tuple[str, bool]],
+) -> bool:
+    """Does ``premise`` imply ``conclusion`` for every parseable packet?"""
+    if program.parser is None:
+        return conclusion <= premise
+    for header_set in program.parser.valid_header_sets():
+        if all((h in header_set) == v for h, v in premise):
+            if not all((h in header_set) == v for h, v in conclusion):
+                return False
+    return True
+
+
+def remove_dependency(program: Program, dep: Dependency) -> Program:
+    """Apply the §3.2 rewrite: ``dep.dst`` runs only if ``dep.src`` misses.
+
+    Raises :class:`OptimizationError` when the rewrite cannot be proven
+    safe (non-adjacent sites, non-validity guards, or the consumer's guard
+    not implying the source's).
+    """
+    root = program.ingress
+    apply_src = find_apply(root, dep.src)
+    apply_dst = find_apply(root, dep.dst)
+    if apply_src is None or apply_dst is None:
+        raise OptimizationError(
+            f"tables {dep.src!r}/{dep.dst!r} not found in the control flow"
+        )
+    parents = _parents(root)
+
+    dst_unit = _relocation_unit(root, apply_dst, parents)
+    src_unit = _enclosing_unit(apply_src, parents)
+    dst_outer = _enclosing_unit(dst_unit, parents)
+
+    seq = parents.get(id(src_unit))
+    if not isinstance(seq, Seq) or parents.get(id(dst_outer)) is not seq:
+        raise OptimizationError(
+            f"tables {dep.src!r} and {dep.dst!r} are not siblings in the "
+            "same control sequence; relocation unsupported"
+        )
+    if dst_outer is not dst_unit:
+        raise OptimizationError(
+            f"the apply of {dep.dst!r} is not a relocatable guarded unit"
+        )
+    src_index = _index_of(seq, src_unit)
+    dst_index = _index_of(seq, dst_unit)
+    if dst_index != src_index + 1:
+        raise OptimizationError(
+            f"tables {dep.src!r} and {dep.dst!r} are not adjacent in the "
+            "control flow; relocating would reorder other logic"
+        )
+
+    src_guard = _guard_validity(apply_src, parents)
+    dst_guard = _guard_validity(apply_dst, parents)
+    if src_guard is None or dst_guard is None:
+        raise OptimizationError(
+            "guards are not plain validity tests; relocation safety "
+            "cannot be established"
+        )
+    if not _implies(program, dst_guard, src_guard):
+        raise OptimizationError(
+            f"guard of {dep.dst!r} does not imply guard of {dep.src!r}; "
+            f"relocating into the miss branch could orphan packets"
+        )
+
+    # Build the rewritten tree: dst_unit moves into apply_src.on_miss and
+    # disappears from the sequence.
+    new_program = program.clone()
+    new_root = new_program.ingress
+    new_apply_src = find_apply(new_root, dep.src)
+    assert new_apply_src is not None
+    new_parents = _parents(new_root)
+    new_dst_apply = find_apply(new_root, dep.dst)
+    assert new_dst_apply is not None
+    new_dst_unit = _relocation_unit(new_root, new_dst_apply, new_parents)
+    new_seq = new_parents[id(_enclosing_unit(new_apply_src, new_parents))]
+    assert isinstance(new_seq, Seq)
+
+    remaining = [n for n in new_seq.nodes if n is not new_dst_unit]
+    new_seq.nodes = tuple(remaining)
+    if new_apply_src.on_miss is None:
+        new_apply_src.on_miss = new_dst_unit
+    else:
+        new_apply_src.on_miss = Seq(
+            [new_apply_src.on_miss, new_dst_unit]
+        )
+    new_program.validate()
+    return new_program
+
+
+def _index_of(seq: Seq, node: ControlNode) -> int:
+    for i, child in enumerate(seq.nodes):
+        if child is node:
+            return i
+    raise OptimizationError("node not found in its sequence")
+
+
+@dataclass
+class DependencyRemovalResult:
+    """Outcome of one phase-2 pass."""
+
+    program: Program
+    removed: Optional[Dependency]
+    observations: List[Observation]
+
+
+def run_phase(
+    program: Program,
+    compile_result: CompileResult,
+    profile: Profile,
+) -> DependencyRemovalResult:
+    """Remove a single unmanifested dependency (the paper removes one at a
+    time to keep changes tractable for the programmer)."""
+    observations: List[Observation] = []
+    candidates = find_removal_candidates(compile_result, profile)
+    if not candidates:
+        observations.append(
+            Observation(
+                phase=Phase.REMOVE_DEPENDENCIES,
+                kind=ObservationKind.NOTE,
+                title="no removable dependencies",
+                details=(
+                    "every dependency on the critical path manifests in "
+                    "the profile"
+                ),
+            )
+        )
+        return DependencyRemovalResult(
+            program=program, removed=None, observations=observations
+        )
+    for candidate in candidates:
+        dep = candidate.dependency
+        try:
+            rewritten = remove_dependency(program, dep)
+        except OptimizationError as exc:
+            observations.append(
+                Observation(
+                    phase=Phase.REMOVE_DEPENDENCIES,
+                    kind=ObservationKind.REJECTED,
+                    title=(
+                        f"dependency {dep.src} -> {dep.dst} unmanifested "
+                        "but not removable"
+                    ),
+                    details=str(exc),
+                )
+            )
+            continue
+        observations.append(
+            Observation(
+                phase=Phase.REMOVE_DEPENDENCIES,
+                kind=ObservationKind.OPTIMIZATION,
+                title=f"removed dependency {dep.src} -> {dep.dst}",
+                details=(
+                    f"{dep.dst} is now applied only if {dep.src} misses; "
+                    f"verify that no real packet can match both. "
+                    f"Evidence: {candidate.evidence}"
+                ),
+                evidence={
+                    "kind": dep.kind.value,
+                    "src": dep.src,
+                    "dst": dep.dst,
+                },
+            )
+        )
+        return DependencyRemovalResult(
+            program=rewritten, removed=dep, observations=observations
+        )
+    return DependencyRemovalResult(
+        program=program, removed=None, observations=observations
+    )

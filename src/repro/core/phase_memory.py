@@ -1,0 +1,289 @@
+"""Phase 3 — reducing memory to shorten the pipeline (§3.3).
+
+For every resizable resource (table capacities and register arrays) P2GO
+probes a 50% reduction; resources whose halving saves at least one stage
+are candidates.  Candidates are tried lowest-hit-rate-first (to minimize
+behavioural risk), the minimum sufficient reduction is found by binary
+search (no target memory map needed), and the resize is kept only if a
+re-profile of the resized program is identical to the original profile.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.observations import Observation, ObservationKind, Phase
+from repro.core.profiler import Profile, Profiler
+from repro.p4.program import Program
+from repro.sim.runtime import RuntimeConfig
+from repro.target.compiler import compile_program
+from repro.target.model import TargetModel
+from repro.traffic.generators import TracePacket
+
+
+class ResourceKind(enum.Enum):
+    TABLE = "table"
+    REGISTER = "register"
+
+
+@dataclass(frozen=True)
+class MemoryCandidate:
+    """A resource whose halving saves at least one stage."""
+
+    kind: ResourceKind
+    name: str
+    original_size: int
+    halved_stages: int
+    hit_rate: float
+    #: Table whose hit rate stands in for this resource (the owner for
+    #: registers, itself for tables).
+    rate_table: str
+
+
+@dataclass
+class MemoryReduction:
+    """An accepted (or attempted) resize."""
+
+    candidate: MemoryCandidate
+    new_size: int
+    stages_before: int
+    stages_after: int
+
+    @property
+    def reduction_fraction(self) -> float:
+        return 1.0 - self.new_size / self.candidate.original_size
+
+
+def _resized(program: Program, kind: ResourceKind, name: str, size: int) -> Program:
+    if kind is ResourceKind.TABLE:
+        return program.with_table_size(name, size)
+    return program.with_register_size(name, size)
+
+
+def _stages(program: Program, target: TargetModel) -> int:
+    return compile_program(program, target).stages_used
+
+
+def find_candidates(
+    program: Program,
+    target: TargetModel,
+    profile: Profile,
+    baseline_stages: Optional[int] = None,
+) -> List[MemoryCandidate]:
+    """Probe a 50% cut of every resource; keep the stage-saving ones,
+    ordered lowest hit rate first (ties broken by control order)."""
+    if baseline_stages is None:
+        baseline_stages = _stages(program, target)
+    order = {
+        name: i for i, name in enumerate(program.tables_in_control_order())
+    }
+    candidates: List[MemoryCandidate] = []
+
+    for table in program.tables.values():
+        if table.size < 2 or not table.keys:
+            continue
+        stages = _stages(
+            program.with_table_size(table.name, table.size // 2), target
+        )
+        if stages < baseline_stages:
+            candidates.append(
+                MemoryCandidate(
+                    kind=ResourceKind.TABLE,
+                    name=table.name,
+                    original_size=table.size,
+                    halved_stages=stages,
+                    hit_rate=profile.hit_rate(table.name),
+                    rate_table=table.name,
+                )
+            )
+    for register in program.registers.values():
+        if register.size < 2:
+            continue
+        owners = program.tables_accessing_register(register.name)
+        if not owners:
+            continue
+        stages = _stages(
+            program.with_register_size(register.name, register.size // 2),
+            target,
+        )
+        if stages < baseline_stages:
+            owner = owners[0]
+            candidates.append(
+                MemoryCandidate(
+                    kind=ResourceKind.REGISTER,
+                    name=register.name,
+                    original_size=register.size,
+                    halved_stages=stages,
+                    hit_rate=profile.hit_rate(owner),
+                    rate_table=owner,
+                )
+            )
+    candidates.sort(
+        key=lambda c: (c.hit_rate, order.get(c.rate_table, 1 << 30), c.name)
+    )
+    return candidates
+
+
+def minimal_reduction(
+    program: Program,
+    target: TargetModel,
+    candidate: MemoryCandidate,
+    baseline_stages: int,
+    probe_counter: Optional[List[int]] = None,
+) -> int:
+    """Binary-search the largest size that still saves a stage (§3.3:
+    "binary search allows P2GO to find the minimum reduction without a
+    concrete description of the hardware")."""
+    lo = candidate.original_size // 2  # known to save
+    hi = candidate.original_size  # known not to save
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        stages = _stages(
+            _resized(program, candidate.kind, candidate.name, mid), target
+        )
+        if probe_counter is not None:
+            probe_counter.append(mid)
+        if stages < baseline_stages:
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def linear_minimal_reduction(
+    program: Program,
+    target: TargetModel,
+    candidate: MemoryCandidate,
+    baseline_stages: int,
+    step: int = 1,
+    probe_counter: Optional[List[int]] = None,
+) -> int:
+    """Linear-scan baseline for the ablation bench: walk down from the
+    original size until a stage is saved."""
+    size = candidate.original_size - step
+    while size > candidate.original_size // 2:
+        stages = _stages(
+            _resized(program, candidate.kind, candidate.name, size), target
+        )
+        if probe_counter is not None:
+            probe_counter.append(size)
+        if stages < baseline_stages:
+            return size
+        size -= step
+    return candidate.original_size // 2
+
+
+@dataclass
+class MemoryReductionResult:
+    """Outcome of one phase-3 pass."""
+
+    program: Program
+    accepted: Optional[MemoryReduction]
+    rejected: List[MemoryReduction]
+    observations: List[Observation]
+
+
+def run_phase(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+    target: TargetModel,
+    profile: Profile,
+    candidate_order: Optional[Callable[[List[MemoryCandidate]], List[MemoryCandidate]]] = None,
+) -> MemoryReductionResult:
+    """Try candidates until one resize passes verification.
+
+    ``candidate_order`` lets the ablation bench override the paper's
+    lowest-hit-rate-first policy.
+    """
+    observations: List[Observation] = []
+    rejected: List[MemoryReduction] = []
+    baseline_stages = _stages(program, target)
+    candidates = find_candidates(
+        program, target, profile, baseline_stages=baseline_stages
+    )
+    if candidate_order is not None:
+        candidates = candidate_order(list(candidates))
+    if not candidates:
+        observations.append(
+            Observation(
+                phase=Phase.REDUCE_MEMORY,
+                kind=ObservationKind.NOTE,
+                title="no memory-reduction candidates",
+                details="halving no table or register saves a stage",
+            )
+        )
+        return MemoryReductionResult(
+            program=program,
+            accepted=None,
+            rejected=[],
+            observations=observations,
+        )
+
+    for candidate in candidates:
+        new_size = minimal_reduction(
+            program, target, candidate, baseline_stages
+        )
+        resized = _resized(program, candidate.kind, candidate.name, new_size)
+        new_profile = Profiler(resized, config).profile(trace)
+        reduction = MemoryReduction(
+            candidate=candidate,
+            new_size=new_size,
+            stages_before=baseline_stages,
+            stages_after=_stages(resized, target),
+        )
+        if profile.same_behavior_as(new_profile):
+            observations.append(
+                Observation(
+                    phase=Phase.REDUCE_MEMORY,
+                    kind=ObservationKind.OPTIMIZATION,
+                    title=(
+                        f"resized {candidate.kind.value} "
+                        f"{candidate.name}: {candidate.original_size} -> "
+                        f"{new_size} "
+                        f"(-{reduction.reduction_fraction:.1%})"
+                    ),
+                    details=(
+                        "the reduced program's profile is identical on the "
+                        "input trace; verify that future rules/state still "
+                        "fit the smaller allocation"
+                    ),
+                    evidence={
+                        "stages_before": baseline_stages,
+                        "stages_after": reduction.stages_after,
+                        "hit_rate": f"{candidate.hit_rate:.2%}",
+                    },
+                )
+            )
+            return MemoryReductionResult(
+                program=resized,
+                accepted=reduction,
+                rejected=rejected,
+                observations=observations,
+            )
+        reasons = profile.behavior_diff(new_profile)
+        rejected.append(reduction)
+        observations.append(
+            Observation(
+                phase=Phase.REDUCE_MEMORY,
+                kind=ObservationKind.REJECTED,
+                title=(
+                    f"discarded resize of {candidate.kind.value} "
+                    f"{candidate.name} ({candidate.original_size} -> "
+                    f"{new_size})"
+                ),
+                details=(
+                    "the reduction changed the program's behaviour on the "
+                    "trace: " + "; ".join(reasons)
+                ),
+                evidence={"hit_rate": f"{candidate.hit_rate:.2%}"},
+            )
+        )
+    return MemoryReductionResult(
+        program=program,
+        accepted=None,
+        rejected=rejected,
+        observations=observations,
+    )

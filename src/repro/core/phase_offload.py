@@ -1,0 +1,571 @@
+"""Phase 4 — offloading code segments to the controller (§3.4).
+
+P2GO enumerates self-contained code segments, generates a variant of the
+program per candidate where the segment is replaced by a table that
+redirects matching traffic to the controller, compiles and profiles each
+variant, and selects the candidate (or, in multi-segment mode, the
+dynamic-programming combination of disjoint candidates) that saves at
+least the requested stages with the least traffic redirected — bounded by
+a controller-load budget so the data plane never drowns the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.observations import Observation, ObservationKind, Phase
+from repro.core.profiler import Profiler
+from repro.exceptions import OffloadError
+from repro.p4.actions import (
+    Action,
+    SendToController,
+    STANDARD_METADATA,
+)
+from repro.p4.control import (
+    Apply,
+    ControlNode,
+    If,
+    iter_nodes,
+    replace_subtree,
+    tables_applied,
+)
+from repro.p4.expressions import FieldRef, fields_read
+from repro.p4.program import Program
+from repro.p4.tables import Table
+from repro.sim.runtime import RuntimeConfig
+from repro.target.compiler import compile_program
+from repro.target.model import TargetModel
+from repro.traffic.generators import TracePacket
+
+#: Default ceiling on the fraction of traffic a segment may redirect
+#: (§3.4: offloading must not overload the controller).
+DEFAULT_MAX_REDIRECT = 0.10
+
+TO_CTL_TABLE = "To_Ctl"
+TO_CTL_ACTION = "to_controller"
+
+#: Reason code carried by redirected packets.
+OFFLOAD_REASON = 0x0F
+
+
+@dataclass
+class SegmentCandidate:
+    """A self-contained subtree that could move to the controller."""
+
+    subtree: ControlNode
+    tables: Tuple[str, ...]
+    boundary_guard: Optional[str]  # printable condition kept in data plane
+
+    @property
+    def key(self) -> FrozenSet[str]:
+        return frozenset(self.tables)
+
+
+@dataclass
+class EvaluatedCandidate:
+    """A candidate after compile + profile of its redirect variant."""
+
+    candidate: SegmentCandidate
+    program: Program
+    stages_before: int
+    stages_after: int
+    redirect_fraction: float
+    redirect_table: str = TO_CTL_TABLE
+
+    @property
+    def stages_saved(self) -> int:
+        return self.stages_before - self.stages_after
+
+
+def _is_standard(ref: FieldRef) -> bool:
+    return ref.header == STANDARD_METADATA
+
+
+def _segment_reads_writes(
+    program: Program, subtree: ControlNode
+) -> Tuple[Set[FieldRef], Set[FieldRef], Set[str]]:
+    """(reads, writes, registers) of the segment's tables/actions/guards.
+
+    When the subtree root is an If, its own condition is the *boundary
+    guard*: it stays in the data plane, so its reads are excluded.
+    """
+    reads: Set[FieldRef] = set()
+    writes: Set[FieldRef] = set()
+    registers: Set[str] = set()
+    for node in iter_nodes(subtree):
+        if isinstance(node, If) and node is not subtree:
+            reads.update(fields_read(node.condition))
+        if isinstance(node, Apply):
+            table = program.tables[node.table]
+            reads.update(k.field for k in table.keys)
+            for action_name in table.all_action_names():
+                action = program.actions[action_name]
+                reads.update(action.reads())
+                writes.update(action.writes())
+                registers.update(action.registers_read())
+                registers.update(action.registers_written())
+    return reads, writes, registers
+
+
+def _outside_reads_writes(
+    program: Program, subtree: ControlNode, inside_tables: Set[str]
+) -> Tuple[Set[FieldRef], Set[FieldRef], Set[str]]:
+    reads: Set[FieldRef] = set()
+    writes: Set[FieldRef] = set()
+    registers: Set[str] = set()
+    inside_nodes = {id(n) for n in iter_nodes(subtree)}
+    for control in (program.ingress, program.egress):
+        for node in iter_nodes(control):
+            if id(node) in inside_nodes:
+                continue
+            if isinstance(node, If):
+                reads.update(fields_read(node.condition))
+            if isinstance(node, Apply) and node.table not in inside_tables:
+                table = program.tables[node.table]
+                reads.update(k.field for k in table.keys)
+                for action_name in table.all_action_names():
+                    action = program.actions[action_name]
+                    reads.update(action.reads())
+                    writes.update(action.writes())
+                    registers.update(action.registers_read())
+                    registers.update(action.registers_written())
+    return reads, writes, registers
+
+
+def _is_metadata_field(program: Program, ref: FieldRef) -> bool:
+    inst = program.headers.get(ref.header)
+    return inst is not None and inst.metadata
+
+
+def is_self_contained(program: Program, subtree: ControlNode) -> bool:
+    """§3.4's offloadability test.
+
+    The segment must need no state produced elsewhere (its tables read
+    only packet headers, metadata it writes itself, or the read-only
+    ingress port), and nothing downstream may consume what it produces
+    (its metadata writes feed nothing outside; its registers are private).
+    Writes to the standard metadata (forwarding decisions) are the
+    segment's *output* and always allowed.
+    """
+    inside_tables = set(tables_applied(subtree))
+    if not inside_tables:
+        return False
+    reads, writes, registers = _segment_reads_writes(program, subtree)
+    out_reads, out_writes, out_registers = _outside_reads_writes(
+        program, subtree, inside_tables
+    )
+
+    if registers & out_registers:
+        return False
+    ingress_port = FieldRef(STANDARD_METADATA, "ingress_port")
+    for ref in reads:
+        if not _is_metadata_field(program, ref):
+            continue  # packet header fields travel with the packet
+        if ref == ingress_port:
+            continue  # arrives with the punted packet
+        if _is_standard(ref):
+            return False  # depends on earlier forwarding decisions
+        if ref in out_writes:
+            # Any outside write taints the field: even if the segment also
+            # writes it, a key/hash read may observe the outside value
+            # before the segment's own write.
+            return False
+    for ref in writes:
+        if not _is_metadata_field(program, ref) or _is_standard(ref):
+            continue
+        if ref in out_reads:
+            return False  # something downstream consumes our output
+    return True
+
+
+def enumerate_candidates(program: Program) -> List[SegmentCandidate]:
+    """All self-contained subtrees (deduplicated by table set)."""
+    candidates: List[SegmentCandidate] = []
+    seen: Set[FrozenSet[str]] = set()
+    all_tables = set(program.tables_in_control_order())
+    for node in iter_nodes(program.ingress):
+        if node is program.ingress:
+            continue  # offloading the whole program is out of scope
+        tables = tuple(tables_applied(node))
+        if not tables:
+            continue
+        key = frozenset(tables)
+        if key in seen or key == frozenset(all_tables):
+            seen.add(key)
+            continue
+        seen.add(key)
+        if not is_self_contained(program, node):
+            continue
+        guard = (
+            str(node.condition) if isinstance(node, If) else None
+        )
+        candidates.append(
+            SegmentCandidate(
+                subtree=node, tables=tables, boundary_guard=guard
+            )
+        )
+    return candidates
+
+
+def unique_redirect_name(program: Program, base: str = TO_CTL_TABLE) -> str:
+    """First unused ``To_Ctl``-style name (re-runs add To_Ctl_2, ...)."""
+    if base not in program.tables:
+        return base
+    suffix = 2
+    while f"{base}_{suffix}" in program.tables:
+        suffix += 1
+    return f"{base}_{suffix}"
+
+
+def make_offloaded_program(
+    program: Program,
+    candidate: SegmentCandidate,
+    table_name: Optional[str] = None,
+    reason: int = OFFLOAD_REASON,
+) -> Program:
+    """Replace the segment with a redirect table.
+
+    When the segment root is an If, the condition stays in the data plane
+    and only its body is replaced — the redirect table then matches
+    exactly the traffic the segment used to process, the paper's "rules
+    equivalent to the superset of match-action rules of the segment".
+    """
+    if table_name is None:
+        table_name = unique_redirect_name(program)
+    if table_name in program.tables:
+        raise OffloadError(
+            f"table name {table_name!r} already exists in the program"
+        )
+    subtree = candidate.subtree
+    redirect = Apply(table_name)
+    if isinstance(subtree, If):
+        replacement: ControlNode = If(
+            subtree.condition, redirect, subtree.else_node
+        )
+    else:
+        replacement = redirect
+    new_ingress = replace_subtree(program.ingress, subtree, replacement)
+    out = program.with_ingress(new_ingress)
+    action_name = TO_CTL_ACTION
+    if action_name not in out.actions:
+        out.actions[action_name] = Action(
+            name=action_name, primitives=(SendToController(reason),)
+        )
+    out.tables[table_name] = Table(
+        name=table_name,
+        keys=(),
+        actions=(),
+        default_action=action_name,
+        size=1,
+    )
+    out.validate()
+    return out
+
+
+def make_combined_offloaded_program(
+    program: Program,
+    candidates: Sequence[SegmentCandidate],
+    reason: int = OFFLOAD_REASON,
+) -> Program:
+    """Replace several *disjoint* segments with redirect tables.
+
+    Candidates must come from :func:`enumerate_candidates` on ``program``
+    (subtree identity matters) and must not overlap; each gets its own
+    uniquely-named redirect table.
+    """
+    seen: Set[str] = set()
+    for candidate in candidates:
+        overlap = seen & set(candidate.tables)
+        if overlap:
+            raise OffloadError(
+                f"segments overlap on tables {sorted(overlap)}"
+            )
+        seen.update(candidate.tables)
+
+    out = program
+    for candidate in candidates:
+        # replace_subtree shares unmodified branches, so later candidates'
+        # subtree nodes keep their identity as long as segments are
+        # disjoint subtrees.
+        out = make_offloaded_program(
+            out, candidate, table_name=unique_redirect_name(out),
+            reason=reason,
+        )
+    return out
+
+
+def evaluate_candidates(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+    target: TargetModel,
+    candidates: Sequence[SegmentCandidate],
+    baseline_stages: Optional[int] = None,
+) -> List[EvaluatedCandidate]:
+    """Compile + profile the redirect variant of every candidate (§3.4:
+    "P2GO compiles and profiles a modified program for each candidate")."""
+    if baseline_stages is None:
+        baseline_stages = compile_program(program, target).stages_used
+    evaluated: List[EvaluatedCandidate] = []
+    for candidate in candidates:
+        redirect_table = unique_redirect_name(program)
+        modified = make_offloaded_program(
+            program, candidate, table_name=redirect_table
+        )
+        stages = compile_program(modified, target).stages_used
+        remaining = [
+            t for t in modified.tables if t not in candidate.tables
+        ]
+        adapted = config.restricted_to(remaining)
+        profile = Profiler(modified, adapted).profile(trace)
+        evaluated.append(
+            EvaluatedCandidate(
+                candidate=candidate,
+                program=modified,
+                stages_before=baseline_stages,
+                stages_after=stages,
+                redirect_fraction=profile.apply_rate(redirect_table),
+                redirect_table=redirect_table,
+            )
+        )
+    return evaluated
+
+
+def select_candidate(
+    evaluated: Sequence[EvaluatedCandidate],
+    min_stage_savings: int = 1,
+    max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
+) -> Optional[EvaluatedCandidate]:
+    """Least redirected traffic among candidates saving enough stages."""
+    eligible = [
+        e
+        for e in evaluated
+        if e.stages_saved >= min_stage_savings
+        and e.redirect_fraction <= max_redirect_fraction
+    ]
+    if not eligible:
+        return None
+    return min(
+        eligible,
+        key=lambda e: (
+            e.redirect_fraction,
+            -e.stages_saved,
+            len(e.candidate.tables),
+            sorted(e.candidate.tables),
+        ),
+    )
+
+
+def select_combination(
+    evaluated: Sequence[EvaluatedCandidate],
+    min_stage_savings: int,
+    max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
+) -> List[EvaluatedCandidate]:
+    """Dynamic program over disjoint candidates: minimize total redirected
+    traffic subject to a total stage-savings target.
+
+    States are (candidates considered, stages saved so far); the load of a
+    combination is estimated additively (disjoint segments redirect
+    disjoint guard events) and the winning combination should be re-verified
+    by compiling the combined program.
+    """
+    items = [
+        e
+        for e in evaluated
+        if e.stages_saved > 0 and e.redirect_fraction <= max_redirect_fraction
+    ]
+    items.sort(key=lambda e: sorted(e.candidate.tables))
+
+    # dp[(savings, used_tables)] = (load, chosen indices); savings capped.
+    cap = max(min_stage_savings, 0)
+    dp: Dict[Tuple[int, FrozenSet[str]], Tuple[float, Tuple[int, ...]]] = {
+        (0, frozenset()): (0.0, ())
+    }
+    for i, item in enumerate(items):
+        additions = []
+        for (savings, used), (load, chosen) in dp.items():
+            if item.candidate.key & used:
+                continue
+            new_savings = min(savings + item.stages_saved, cap)
+            new_used = used | item.candidate.key
+            new_load = load + item.redirect_fraction
+            if new_load > max_redirect_fraction:
+                continue
+            key = (new_savings, new_used)
+            if key not in dp or dp[key][0] > new_load:
+                additions.append((key, (new_load, chosen + (i,))))
+        for key, value in additions:
+            if key not in dp or dp[key][0] > value[0]:
+                dp[key] = value
+    winners = [
+        (load, chosen)
+        for (savings, _used), (load, chosen) in dp.items()
+        if savings >= min_stage_savings
+    ]
+    if not winners:
+        return []
+    _load, chosen = min(winners, key=lambda w: (w[0], len(w[1])))
+    return [items[i] for i in chosen]
+
+
+@dataclass
+class OffloadResult:
+    """Outcome of one phase-4 pass."""
+
+    program: Program
+    config: RuntimeConfig
+    offloaded: Optional[EvaluatedCandidate]
+    evaluated: List[EvaluatedCandidate]
+    observations: List[Observation]
+    #: All offloaded segments (len > 1 only in combination mode).
+    combination: Tuple[EvaluatedCandidate, ...] = ()
+
+
+def _try_combination(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+    target: TargetModel,
+    evaluated: Sequence[EvaluatedCandidate],
+    min_stage_savings: int,
+    max_redirect_fraction: float,
+    baseline_stages: int,
+    observations: List[Observation],
+) -> Optional[OffloadResult]:
+    """§3.4's DP: combine disjoint segments when no single one suffices."""
+    combo = select_combination(
+        evaluated,
+        min_stage_savings=min_stage_savings,
+        max_redirect_fraction=max_redirect_fraction,
+    )
+    if not combo:
+        return None
+    segments = [e.candidate for e in combo]
+    combined = make_combined_offloaded_program(program, segments)
+    stages = compile_program(combined, target).stages_used
+    if baseline_stages - stages < min_stage_savings:
+        return None  # additive estimate was optimistic; reject
+    offloaded_tables = [t for c in segments for t in c.tables]
+    remaining = [
+        t for t in combined.tables if t not in offloaded_tables
+    ]
+    new_config = config.restricted_to(remaining)
+    total_load = sum(e.redirect_fraction for e in combo)
+    observations.append(
+        Observation(
+            phase=Phase.OFFLOAD_CODE,
+            kind=ObservationKind.OPTIMIZATION,
+            title=(
+                "offloaded combination of segments {"
+                + "} + {".join(
+                    ", ".join(c.tables) for c in segments
+                )
+                + "} to the controller"
+            ),
+            details=(
+                f"no single segment saves {min_stage_savings} stage(s); "
+                f"the DP-selected combination does, redirecting "
+                f"~{total_load:.2%} of the trace in total"
+            ),
+            evidence={
+                "stages_before": baseline_stages,
+                "stages_after": stages,
+            },
+        )
+    )
+    return OffloadResult(
+        program=combined,
+        config=new_config,
+        offloaded=combo[0],
+        evaluated=list(evaluated),
+        observations=observations,
+        combination=tuple(combo),
+    )
+
+
+def run_phase(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+    target: TargetModel,
+    min_stage_savings: int = 1,
+    max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
+    allow_combination: bool = False,
+) -> OffloadResult:
+    """Offload the best segment (or, with ``allow_combination``, the best
+    DP combination of disjoint segments) if any qualifies."""
+    observations: List[Observation] = []
+    candidates = enumerate_candidates(program)
+    baseline_stages = compile_program(program, target).stages_used
+    evaluated = evaluate_candidates(
+        program, config, trace, target, candidates,
+        baseline_stages=baseline_stages,
+    )
+    chosen = select_candidate(
+        evaluated,
+        min_stage_savings=min_stage_savings,
+        max_redirect_fraction=max_redirect_fraction,
+    )
+    if chosen is None:
+        if allow_combination:
+            combined = _try_combination(
+                program, config, trace, target, evaluated,
+                min_stage_savings, max_redirect_fraction,
+                baseline_stages, observations,
+            )
+            if combined is not None:
+                return combined
+        observations.append(
+            Observation(
+                phase=Phase.OFFLOAD_CODE,
+                kind=ObservationKind.NOTE,
+                title="no offloadable segment qualifies",
+                details=(
+                    f"{len(evaluated)} self-contained segment(s) evaluated; "
+                    f"none saves >= {min_stage_savings} stage(s) within the "
+                    f"{max_redirect_fraction:.0%} controller-load budget"
+                ),
+            )
+        )
+        return OffloadResult(
+            program=program,
+            config=config,
+            offloaded=None,
+            evaluated=evaluated,
+            observations=observations,
+        )
+    remaining = [
+        t for t in chosen.program.tables if t not in chosen.candidate.tables
+    ]
+    observations.append(
+        Observation(
+            phase=Phase.OFFLOAD_CODE,
+            kind=ObservationKind.OPTIMIZATION,
+            title=(
+                "offloaded segment {"
+                + ", ".join(chosen.candidate.tables)
+                + "} to the controller"
+            ),
+            details=(
+                f"these tables must now be implemented at the controller; "
+                f"{chosen.redirect_fraction:.2%} of the trace is redirected "
+                f"and {chosen.stages_saved} stage(s) are freed. Keep the "
+                f"segment in the data plane if it matters in critical "
+                f"situations the trace does not cover."
+            ),
+            evidence={
+                "boundary_guard": chosen.candidate.boundary_guard or "none",
+                "stages_before": chosen.stages_before,
+                "stages_after": chosen.stages_after,
+            },
+        )
+    )
+    return OffloadResult(
+        program=chosen.program,
+        config=config.restricted_to(remaining),
+        offloaded=chosen,
+        evaluated=evaluated,
+        observations=observations,
+        combination=(chosen,),
+    )

@@ -1,0 +1,269 @@
+"""The P2GO orchestrator (Fig. 2).
+
+Runs the four phases in order: profile, remove dependencies, reduce
+memory, offload code.  Every modification is recorded as an observation;
+an optional review hook lets the programmer accept or reject each change
+(§2.2: "the programmer can then choose to selectively accept or reject
+them based on her knowledge of the general traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core import phase_dependencies, phase_memory, phase_offload
+from repro.core.observations import (
+    Observation,
+    ObservationKind,
+    ObservationLog,
+    Phase,
+)
+from repro.core.profiler import Profile, Profiler
+from repro.p4.program import Program
+from repro.sim.runtime import RuntimeConfig
+from repro.target.compiler import compile_program
+from repro.target.model import DEFAULT_TARGET, TargetModel
+from repro.traffic.generators import TracePacket
+
+#: Review hook: receives each optimization observation, returns True to
+#: accept.  The default accepts everything (batch mode).
+ReviewHook = Callable[[Observation], bool]
+
+
+@dataclass
+class PhaseOutcome:
+    """Stage count after a phase (Table 2's rows)."""
+
+    phase: Phase
+    stages: int
+    stage_map: List[List[str]]
+
+
+@dataclass
+class P2GOResult:
+    """Everything one P2GO run produces."""
+
+    original_program: Program
+    optimized_program: Program
+    final_config: RuntimeConfig
+    observations: ObservationLog
+    initial_profile: Profile
+    outcomes: List[PhaseOutcome]
+    offloaded_tables: Tuple[str, ...] = ()
+
+    @property
+    def stages_before(self) -> int:
+        return self.outcomes[0].stages
+
+    @property
+    def stages_after(self) -> int:
+        return self.outcomes[-1].stages
+
+    def stage_history(self) -> List[Tuple[str, int]]:
+        return [(o.phase.name.lower(), o.stages) for o in self.outcomes]
+
+
+class P2GO:
+    """Profile-guided optimizer for P4 programs.
+
+    Parameters mirror the knobs the paper describes: which phases run, how
+    many dependencies to remove, how many resizes to accept, the minimum
+    stage savings and controller-load ceiling for offloading, and the
+    review hook through which a programmer can veto changes.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: RuntimeConfig,
+        trace: Sequence[TracePacket],
+        target: TargetModel = DEFAULT_TARGET,
+        phases: Sequence[int] = (2, 3, 4),
+        max_dependency_removals: int = 8,
+        max_memory_reductions: int = 1,
+        offload_min_stage_savings: int = 1,
+        max_redirect_fraction: float = phase_offload.DEFAULT_MAX_REDIRECT,
+        review_hook: Optional[ReviewHook] = None,
+    ):
+        program.validate()
+        config.validate(program)
+        self.program = program
+        self.config = config
+        self.trace = list(trace)
+        self.target = target
+        self.phases = tuple(phases)
+        self.max_dependency_removals = max_dependency_removals
+        self.max_memory_reductions = max_memory_reductions
+        self.offload_min_stage_savings = offload_min_stage_savings
+        self.max_redirect_fraction = max_redirect_fraction
+        self.review_hook = review_hook
+
+    # ------------------------------------------------------------------
+    def _accepted(self, log: ObservationLog, obs: Observation) -> bool:
+        log.add(obs)
+        if (
+            obs.kind is ObservationKind.OPTIMIZATION
+            and self.review_hook is not None
+        ):
+            accepted = self.review_hook(obs)
+            if not accepted:
+                log.add(
+                    Observation(
+                        phase=obs.phase,
+                        kind=ObservationKind.REJECTED,
+                        title=f"programmer rejected: {obs.title}",
+                        details="change rolled back at review",
+                    )
+                )
+            return accepted
+        return True
+
+    def run(self) -> P2GOResult:
+        log = ObservationLog()
+        outcomes: List[PhaseOutcome] = []
+
+        # Phase 1: profiling.
+        initial_profile = Profiler(self.program, self.config).profile(
+            self.trace
+        )
+        log.add(
+            Observation(
+                phase=Phase.PROFILING,
+                kind=ObservationKind.PROFILE,
+                title=(
+                    f"profiled {initial_profile.total_packets} packets, "
+                    f"{len(initial_profile.nonexclusive_sets)} distinct "
+                    f"non-exclusive action sets"
+                ),
+                details="per-table hit rates: "
+                + ", ".join(
+                    f"{t}={initial_profile.hit_rate(t):.1%}"
+                    for t in self.program.tables_in_control_order()
+                ),
+            )
+        )
+        current = self.program
+        config = self.config
+        profile = initial_profile
+        result = compile_program(current, self.target)
+        outcomes.append(
+            PhaseOutcome(
+                phase=Phase.PROFILING,
+                stages=result.stages_used,
+                stage_map=result.stage_map(),
+            )
+        )
+
+        # Optimization phases, honouring the requested order.  The paper's
+        # default runs offloading last so the data plane is optimized
+        # first (§2.2 explains why offloading earlier can waste work);
+        # the ablation bench deliberately reorders.
+        offloaded_tables: Tuple[str, ...] = ()
+        for phase_number in self.phases:
+            if phase_number == 2:
+                for _round in range(self.max_dependency_removals):
+                    step = phase_dependencies.run_phase(
+                        current, result, profile
+                    )
+                    applied = False
+                    for obs in step.observations:
+                        if obs.kind is ObservationKind.OPTIMIZATION:
+                            if self._accepted(log, obs):
+                                applied = True
+                        else:
+                            log.add(obs)
+                    if step.removed is None or not applied:
+                        break
+                    current = step.program
+                    result = compile_program(current, self.target)
+                    profile = Profiler(current, config).profile(self.trace)
+                outcomes.append(
+                    PhaseOutcome(
+                        phase=Phase.REMOVE_DEPENDENCIES,
+                        stages=result.stages_used,
+                        stage_map=result.stage_map(),
+                    )
+                )
+            elif phase_number == 3:
+                for _round in range(self.max_memory_reductions):
+                    step = phase_memory.run_phase(
+                        current, config, self.trace, self.target, profile
+                    )
+                    applied = False
+                    for obs in step.observations:
+                        if obs.kind is ObservationKind.OPTIMIZATION:
+                            if self._accepted(log, obs):
+                                applied = True
+                        else:
+                            log.add(obs)
+                    if step.accepted is None or not applied:
+                        break
+                    current = step.program
+                    result = compile_program(current, self.target)
+                    profile = Profiler(current, config).profile(self.trace)
+                result = compile_program(current, self.target)
+                outcomes.append(
+                    PhaseOutcome(
+                        phase=Phase.REDUCE_MEMORY,
+                        stages=result.stages_used,
+                        stage_map=result.stage_map(),
+                    )
+                )
+            elif phase_number == 4:
+                step = phase_offload.run_phase(
+                    current,
+                    config,
+                    self.trace,
+                    self.target,
+                    min_stage_savings=self.offload_min_stage_savings,
+                    max_redirect_fraction=self.max_redirect_fraction,
+                )
+                applied = False
+                for obs in step.observations:
+                    if obs.kind is ObservationKind.OPTIMIZATION:
+                        if self._accepted(log, obs):
+                            applied = True
+                    else:
+                        log.add(obs)
+                if step.offloaded is not None and applied:
+                    current = step.program
+                    config = step.config
+                    offloaded_tables = step.offloaded.candidate.tables
+                    result = compile_program(current, self.target)
+                    profile = Profiler(current, config).profile(self.trace)
+                else:
+                    result = compile_program(current, self.target)
+                outcomes.append(
+                    PhaseOutcome(
+                        phase=Phase.OFFLOAD_CODE,
+                        stages=result.stages_used,
+                        stage_map=result.stage_map(),
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"unknown optimization phase {phase_number!r}; "
+                    "valid phases are 2, 3, 4"
+                )
+
+        return P2GOResult(
+            original_program=self.program,
+            optimized_program=current,
+            final_config=config,
+            observations=log,
+            initial_profile=initial_profile,
+            outcomes=outcomes,
+            offloaded_tables=offloaded_tables,
+        )
+
+
+def optimize(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+    target: TargetModel = DEFAULT_TARGET,
+    **kwargs,
+) -> P2GOResult:
+    """One-call convenience wrapper around :class:`P2GO`."""
+    return P2GO(program, config, trace, target, **kwargs).run()

@@ -1,0 +1,79 @@
+"""Human-readable optimization reports.
+
+Renders a :class:`~repro.core.pipeline.P2GOResult` the way the paper's
+workflow expects: the stage progression per phase (Table 2's shape), every
+observation with its evidence, and the changes awaiting the programmer's
+judgement.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.pipeline import P2GOResult
+
+
+def stage_table(result: P2GOResult) -> str:
+    """Render the per-phase stage map (the paper's Table 2)."""
+    lines: List[str] = []
+    width = max(
+        (len(o.phase.name) for o in result.outcomes), default=8
+    )
+    for outcome in result.outcomes:
+        cells = []
+        for stage_tables in outcome.stage_map:
+            cells.append("+".join(stage_tables) if stage_tables else "-")
+        label = {
+            "PROFILING": "Initial Program",
+            "REMOVE_DEPENDENCIES": "Removing Deps.",
+            "REDUCE_MEMORY": "Reducing Memory",
+            "OFFLOAD_CODE": "Offloading Code",
+        }.get(outcome.phase.name, outcome.phase.name)
+        lines.append(
+            f"{label:<17} ({outcome.stages} stages): "
+            + " | ".join(cells)
+        )
+    return "\n".join(lines)
+
+
+def render_report(result: P2GOResult) -> str:
+    """The full optimization report."""
+    from repro.target.phv import compute_phv_usage
+
+    phv_before = compute_phv_usage(result.original_program)
+    phv_after = compute_phv_usage(result.optimized_program)
+    lines: List[str] = [
+        "=" * 72,
+        f"P2GO optimization report — {result.original_program.name}",
+        "=" * 72,
+        "",
+        f"stages: {result.stages_before} -> {result.stages_after}",
+        f"PHV:    {phv_before.total_bits} -> {phv_after.total_bits} bits "
+        f"(of {phv_after.budget_bits})",
+        "",
+        stage_table(result),
+        "",
+    ]
+    optimizations = result.observations.optimizations()
+    lines.append(f"applied optimizations: {len(optimizations)}")
+    if result.offloaded_tables:
+        lines.append(
+            "controller must now implement: "
+            + ", ".join(result.offloaded_tables)
+        )
+    lines.append("")
+    lines.append("observations for review:")
+    lines.append("-" * 72)
+    for obs in result.observations.items:
+        lines.append(obs.render())
+        lines.append("")
+    return "\n".join(lines)
+
+
+def summary_line(result: P2GOResult) -> str:
+    """One-line summary for benchmark output."""
+    path = " -> ".join(str(o.stages) for o in result.outcomes)
+    return (
+        f"{result.original_program.name}: stages {path} "
+        f"({len(result.observations.optimizations())} optimizations)"
+    )

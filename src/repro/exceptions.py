@@ -1,0 +1,73 @@
+"""Exception hierarchy for the P2GO reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class P4ValidationError(ReproError):
+    """A P4 program failed structural validation (dangling reference,
+    duplicate name, malformed control flow, ...)."""
+
+
+class P4SemanticsError(ReproError):
+    """A P4 program is structurally valid but semantically inconsistent
+    (e.g. an action parameter used by no primitive, a width mismatch)."""
+
+
+class DslSyntaxError(ReproError):
+    """The textual P4 DSL could not be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        super().__init__(
+            f"{message} (line {line}, column {column})" if line else message
+        )
+
+
+class PacketError(ReproError):
+    """A packet could not be built, serialized, or parsed."""
+
+
+class PcapError(ReproError):
+    """A pcap file is malformed or uses an unsupported format."""
+
+
+class SimulationError(ReproError):
+    """The behavioural simulator hit an unrecoverable condition."""
+
+
+class RuntimeConfigError(ReproError):
+    """A runtime configuration (table entries) is inconsistent with the
+    program it targets."""
+
+
+class CompilationError(ReproError):
+    """The target compiler could not map the program to the pipeline."""
+
+
+class AllocationError(CompilationError):
+    """Stage allocation failed (not enough stages or memory)."""
+
+
+class ProfilingError(ReproError):
+    """The profiler could not build a profile."""
+
+
+class OptimizationError(ReproError):
+    """An optimization phase failed or was asked to do something unsound."""
+
+
+class OffloadError(OptimizationError):
+    """A code segment could not be offloaded to the controller."""
+
+
+class ControllerError(ReproError):
+    """The software controller failed to process a redirected packet."""

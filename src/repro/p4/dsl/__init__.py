@@ -1,0 +1,15 @@
+"""Textual P4-14-flavoured DSL: lexer, parser, pretty-printer."""
+
+from repro.p4.dsl.lexer import Token, TokenKind, tokenize
+from repro.p4.dsl.parser import parse_program
+from repro.p4.dsl.printer import print_expr, print_primitive, print_program
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "parse_program",
+    "print_expr",
+    "print_primitive",
+    "print_program",
+    "tokenize",
+]

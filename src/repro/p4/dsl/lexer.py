@@ -1,0 +1,113 @@
+"""Tokenizer for the P4-14-flavoured textual DSL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.exceptions import DslSyntaxError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    COLON = ":"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    OP = "op"  # comparison/arithmetic operators
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.text!r}, {self.line}:{self.column})"
+
+
+_SINGLE = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ":": TokenKind.COLON,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+}
+
+#: Multi-char operators first so '>=' beats '>'.
+_OPERATORS = ("==", "!=", "<=", ">=", "<", ">", "+", "-", "&", "|", "^")
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn DSL source into a token list (comments: ``//`` to end of line)."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch in _SINGLE:
+            tokens.append(Token(_SINGLE[ch], ch, line, col))
+            i += 1
+            col += 1
+            continue
+        matched_op = None
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                matched_op = op
+                break
+        if matched_op is not None:
+            tokens.append(Token(TokenKind.OP, matched_op, line, col))
+            i += len(matched_op)
+            col += len(matched_op)
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and (source[i].isdigit() or source[i].lower() in "abcdef"):
+                    i += 1
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+            text = source[start:i]
+            tokens.append(Token(TokenKind.NUMBER, text, line, col))
+            col += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            tokens.append(Token(TokenKind.IDENT, text, line, col))
+            col += i - start
+            continue
+        raise DslSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,254 @@
+"""Pretty-printer: :class:`~repro.p4.program.Program` → DSL source.
+
+P2GO's output is "an optimized P4 program" the programmer reads and
+reviews (§2.2), so every rewritten program can be rendered back to source.
+``parse_program(print_program(p), p.name) == p`` is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ReproError
+from repro.p4.actions import (
+    AddHeader,
+    AddToField,
+    Drop,
+    HashFields,
+    MinOf,
+    ModifyField,
+    NoOp,
+    Primitive,
+    RegisterRead,
+    RegisterWrite,
+    RemoveHeader,
+    SendToController,
+    SetEgressPort,
+    SubtractFromField,
+    STANDARD_METADATA,
+)
+from repro.p4.control import Apply, ControlNode, If, Seq
+from repro.p4.expressions import (
+    BinOp,
+    Const,
+    Expr,
+    FieldRef,
+    LAnd,
+    LNot,
+    LOr,
+    ParamRef,
+    RegisterSize,
+    ValidExpr,
+)
+from repro.p4.parser_spec import ParserSpec
+from repro.p4.program import Program
+
+_INTRINSIC_TYPES = {"standard_metadata_t"}
+_INTRINSIC_HEADERS = {STANDARD_METADATA}
+_INTRINSIC_ACTIONS = {"NoAction"}
+
+
+def print_expr(expr: Expr) -> str:
+    if isinstance(expr, FieldRef):
+        return expr.path
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, ParamRef):
+        return expr.name
+    if isinstance(expr, RegisterSize):
+        return f"size({expr.register})"
+    if isinstance(expr, ValidExpr):
+        return f"valid({expr.header})"
+    if isinstance(expr, BinOp):
+        return f"({print_expr(expr.left)} {expr.op} {print_expr(expr.right)})"
+    if isinstance(expr, LNot):
+        return f"not {print_expr(expr.operand)}"
+    if isinstance(expr, LAnd):
+        return f"({print_expr(expr.left)} and {print_expr(expr.right)})"
+    if isinstance(expr, LOr):
+        return f"({print_expr(expr.left)} or {print_expr(expr.right)})"
+    raise ReproError(f"unknown expression {expr!r}")
+
+
+def print_primitive(prim: Primitive) -> str:
+    if isinstance(prim, ModifyField):
+        return f"modify_field({prim.dst.path}, {print_expr(prim.src)});"
+    if isinstance(prim, AddToField):
+        return f"add_to_field({prim.dst.path}, {print_expr(prim.src)});"
+    if isinstance(prim, SubtractFromField):
+        return (
+            f"subtract_from_field({prim.dst.path}, {print_expr(prim.src)});"
+        )
+    if isinstance(prim, Drop):
+        return "drop();"
+    if isinstance(prim, NoOp):
+        return "no_op();"
+    if isinstance(prim, SetEgressPort):
+        return f"set_egress_port({print_expr(prim.port)});"
+    if isinstance(prim, SendToController):
+        return f"send_to_controller({prim.reason});"
+    if isinstance(prim, RegisterRead):
+        return (
+            f"register_read({prim.dst.path}, {prim.register}, "
+            f"{print_expr(prim.index)});"
+        )
+    if isinstance(prim, RegisterWrite):
+        return (
+            f"register_write({prim.register}, {print_expr(prim.index)}, "
+            f"{print_expr(prim.value)});"
+        )
+    if isinstance(prim, HashFields):
+        inputs = ", ".join(ref.path for ref in prim.inputs)
+        return (
+            f"hash({prim.dst.path}, {prim.algorithm}, {{{inputs}}}, "
+            f"{print_expr(prim.modulo)});"
+        )
+    if isinstance(prim, MinOf):
+        return (
+            f"min({prim.dst.path}, {print_expr(prim.left)}, "
+            f"{print_expr(prim.right)});"
+        )
+    if isinstance(prim, AddHeader):
+        return f"add_header({prim.header});"
+    if isinstance(prim, RemoveHeader):
+        return f"remove_header({prim.header});"
+    raise ReproError(f"unknown primitive {prim!r}")
+
+
+def _print_control(node: ControlNode, indent: int, lines: List[str]) -> None:
+    pad = "    " * indent
+    if isinstance(node, Seq):
+        for child in node.nodes:
+            _print_control(child, indent, lines)
+        return
+    if isinstance(node, If):
+        lines.append(f"{pad}if ({print_expr(node.condition)}) {{")
+        _print_control(node.then_node, indent + 1, lines)
+        if node.else_node is not None:
+            lines.append(f"{pad}}} else {{")
+            _print_control(node.else_node, indent + 1, lines)
+        lines.append(f"{pad}}}")
+        return
+    if isinstance(node, Apply):
+        if node.on_hit is None and node.on_miss is None:
+            lines.append(f"{pad}apply({node.table});")
+            return
+        lines.append(f"{pad}apply({node.table}) {{")
+        if node.on_hit is not None:
+            lines.append(f"{pad}    hit {{")
+            _print_control(node.on_hit, indent + 2, lines)
+            lines.append(f"{pad}    }}")
+        if node.on_miss is not None:
+            lines.append(f"{pad}    miss {{")
+            _print_control(node.on_miss, indent + 2, lines)
+            lines.append(f"{pad}    }}")
+        lines.append(f"{pad}}}")
+        return
+    raise ReproError(f"unknown control node {node!r}")
+
+
+def _print_parser(parser: ParserSpec, lines: List[str]) -> None:
+    # Emit the start state first so the parser round-trips its entry point.
+    order = [parser.start] + [
+        name for name in parser.states if name != parser.start
+    ]
+    for state_name in order:
+        state = parser.states[state_name]
+        lines.append(f"parser {state.name} {{")
+        for header in state.extracts:
+            lines.append(f"    extract({header});")
+        if state.select is not None:
+            lines.append(f"    return select({state.select.path}) {{")
+            for value in sorted(state.transitions):
+                lines.append(
+                    f"        {value} : {state.transitions[value]};"
+                )
+            lines.append(f"        default : {state.default};")
+            lines.append("    }")
+        else:
+            lines.append(f"    return {state.default};")
+        lines.append("}")
+        lines.append("")
+
+
+def print_program(program: Program) -> str:
+    """Render a program to DSL source (intrinsics are implicit)."""
+    lines: List[str] = [f"// program: {program.name}", ""]
+
+    for htype in program.header_types.values():
+        if htype.name in _INTRINSIC_TYPES:
+            continue
+        lines.append(f"header_type {htype.name} {{")
+        lines.append("    fields {")
+        for field in htype.fields:
+            lines.append(f"        {field.name} : {field.width};")
+        lines.append("    }")
+        lines.append("}")
+        lines.append("")
+
+    for inst in program.headers.values():
+        if inst.name in _INTRINSIC_HEADERS:
+            continue
+        keyword = "metadata" if inst.metadata else "header"
+        suffix = " auto" if (inst.auto_valid and not inst.metadata) else ""
+        lines.append(f"{keyword} {inst.header_type} {inst.name}{suffix};")
+    lines.append("")
+
+    for register in program.registers.values():
+        lines.append(f"register {register.name} {{")
+        lines.append(f"    width : {register.width};")
+        lines.append(f"    instance_count : {register.size};")
+        lines.append("}")
+        lines.append("")
+
+    for action in program.actions.values():
+        if action.name in _INTRINSIC_ACTIONS:
+            continue
+        params = ", ".join(action.parameters)
+        lines.append(f"action {action.name}({params}) {{")
+        for prim in action.primitives:
+            lines.append(f"    {print_primitive(prim)}")
+        lines.append("}")
+        lines.append("")
+
+    for table in program.tables.values():
+        lines.append(f"table {table.name} {{")
+        if table.keys:
+            lines.append("    reads {")
+            for key in table.keys:
+                lines.append(
+                    f"        {key.field.path} : {key.kind.value};"
+                )
+            lines.append("    }")
+        if table.actions:
+            lines.append("    actions {")
+            for action_name in table.actions:
+                lines.append(f"        {action_name};")
+            lines.append("    }")
+        args = ""
+        if table.default_action_args:
+            args = (
+                "("
+                + ", ".join(str(a) for a in table.default_action_args)
+                + ")"
+            )
+        lines.append(f"    default_action : {table.default_action}{args};")
+        lines.append(f"    size : {table.size};")
+        lines.append("}")
+        lines.append("")
+
+    if program.parser is not None:
+        _print_parser(program.parser, lines)
+
+    lines.append("control ingress {")
+    _print_control(program.ingress, 1, lines)
+    lines.append("}")
+    lines.append("")
+    from repro.p4.control import tables_applied
+
+    if tables_applied(program.egress):
+        lines.append("control egress {")
+        _print_control(program.egress, 1, lines)
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

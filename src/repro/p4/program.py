@@ -1,0 +1,368 @@
+"""The P4 program container.
+
+A :class:`Program` bundles header types, header/metadata instances, register
+arrays, actions, tables, a parser spec, and the ingress control AST, and
+validates that every cross-reference resolves.  Programs are value objects:
+P2GO's optimization phases never mutate a program in place — they build
+modified clones, mirroring how the real system rewrites P4 source and
+re-compiles it.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import P4ValidationError
+from repro.p4.actions import (
+    Action,
+    NoOp,
+    STANDARD_METADATA,
+)
+from repro.p4.control import ControlNode, Seq, iter_applies, iter_nodes, If
+from repro.p4.expressions import (
+    Expr,
+    FieldRef,
+    fields_read,
+    headers_tested_valid,
+    registers_referenced,
+)
+from repro.p4.parser_spec import ParserSpec
+from repro.p4.registers import RegisterArray
+from repro.p4.tables import Table
+from repro.p4.types import bytes_for_bits
+
+
+@dataclass(frozen=True)
+class HeaderField:
+    """One field of a header type."""
+
+    name: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise P4ValidationError(
+                f"field {self.name!r}: width must be positive"
+            )
+
+
+@dataclass
+class HeaderType:
+    """A named, ordered collection of bit fields."""
+
+    name: str
+    fields: Tuple[HeaderField, ...]
+
+    def __post_init__(self) -> None:
+        self.fields = tuple(self.fields)
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise P4ValidationError(
+                f"header type {self.name!r} has duplicate fields"
+            )
+
+    @property
+    def bit_width(self) -> int:
+        return sum(f.width for f in self.fields)
+
+    @property
+    def byte_width(self) -> int:
+        return bytes_for_bits(self.bit_width)
+
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def field_width(self, name: str) -> int:
+        for f in self.fields:
+            if f.name == name:
+                return f.width
+        raise P4ValidationError(
+            f"header type {self.name!r} has no field {name!r}"
+        )
+
+    def has_field(self, name: str) -> bool:
+        return any(f.name == name for f in self.fields)
+
+
+@dataclass
+class HeaderInstance:
+    """An instance of a header type.
+
+    ``metadata`` instances are always "valid", start zeroed, and are never
+    serialized; packet headers become valid when the parser extracts them
+    (or an action adds them) and are emitted by the deparser in declaration
+    order.  ``auto_valid`` packet headers are added (zero-filled) by the
+    parser for *every* packet — the shape profiling instrumentation uses
+    for its appended header (§3.1), costing no match-action resources.
+    """
+
+    name: str
+    header_type: str
+    metadata: bool = False
+    auto_valid: bool = False
+
+
+def standard_metadata_type() -> HeaderType:
+    """The intrinsic metadata header type every program carries."""
+    return HeaderType(
+        name="standard_metadata_t",
+        fields=(
+            HeaderField("ingress_port", 16),
+            HeaderField("egress_port", 16),
+            HeaderField("drop_flag", 1),
+            HeaderField("to_controller", 1),
+            HeaderField("controller_reason", 16),
+        ),
+    )
+
+
+@dataclass
+class Program:
+    """A complete P4 program in IR form."""
+
+    name: str
+    header_types: Dict[str, HeaderType] = dc_field(default_factory=dict)
+    headers: Dict[str, HeaderInstance] = dc_field(default_factory=dict)
+    registers: Dict[str, RegisterArray] = dc_field(default_factory=dict)
+    actions: Dict[str, Action] = dc_field(default_factory=dict)
+    tables: Dict[str, Table] = dc_field(default_factory=dict)
+    parser: Optional[ParserSpec] = None
+    ingress: ControlNode = dc_field(default_factory=lambda: Seq([]))
+    #: Egress pipeline (§2.1: "an ingress and egress pipeline").  Runs
+    #: after the forwarding decision for packets that are neither dropped
+    #: nor punted; its tables share the physical stages' memory with the
+    #: ingress tables, as on RMT hardware.
+    egress: ControlNode = dc_field(default_factory=lambda: Seq([]))
+
+    def __post_init__(self) -> None:
+        self._ensure_intrinsics()
+
+    # ------------------------------------------------------------------
+    # Intrinsics
+
+    def _ensure_intrinsics(self) -> None:
+        std_type = standard_metadata_type()
+        self.header_types.setdefault(std_type.name, std_type)
+        self.headers.setdefault(
+            STANDARD_METADATA,
+            HeaderInstance(
+                name=STANDARD_METADATA,
+                header_type=std_type.name,
+                metadata=True,
+            ),
+        )
+        self.actions.setdefault(
+            "NoAction", Action(name="NoAction", primitives=(NoOp(),))
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+
+    def header_type_of(self, instance_name: str) -> HeaderType:
+        inst = self.headers.get(instance_name)
+        if inst is None:
+            raise P4ValidationError(
+                f"unknown header instance {instance_name!r}"
+            )
+        return self.header_types[inst.header_type]
+
+    def field_width(self, ref: FieldRef) -> int:
+        return self.header_type_of(ref.header).field_width(ref.field)
+
+    def packet_headers(self) -> List[HeaderInstance]:
+        """Non-metadata header instances in declaration order."""
+        return [h for h in self.headers.values() if not h.metadata]
+
+    def metadata_headers(self) -> List[HeaderInstance]:
+        return [h for h in self.headers.values() if h.metadata]
+
+    def tables_in_control_order(self) -> List[str]:
+        """Ingress tables then egress tables, each in apply order."""
+        return [a.table for a in iter_applies(self.ingress)] + [
+            a.table for a in iter_applies(self.egress)
+        ]
+
+    def ingress_tables(self) -> List[str]:
+        return [a.table for a in iter_applies(self.ingress)]
+
+    def egress_tables(self) -> List[str]:
+        return [a.table for a in iter_applies(self.egress)]
+
+    # ------------------------------------------------------------------
+    # Validation
+
+    def validate(self) -> None:
+        """Check every cross-reference; raise P4ValidationError on failure."""
+        self._validate_headers()
+        self._validate_actions()
+        self._validate_tables()
+        self._validate_parser()
+        self._validate_control()
+
+    def _validate_headers(self) -> None:
+        for inst in self.headers.values():
+            if inst.header_type not in self.header_types:
+                raise P4ValidationError(
+                    f"header instance {inst.name!r} uses undefined type "
+                    f"{inst.header_type!r}"
+                )
+
+    def _check_field(self, ref: FieldRef, context: str) -> None:
+        if ref.header not in self.headers:
+            raise P4ValidationError(
+                f"{context}: unknown header {ref.header!r} in {ref.path!r}"
+            )
+        htype = self.header_type_of(ref.header)
+        if not htype.has_field(ref.field):
+            raise P4ValidationError(
+                f"{context}: header {ref.header!r} has no field {ref.field!r}"
+            )
+
+    def _check_expr(self, expr: Expr, context: str) -> None:
+        for ref in fields_read(expr):
+            self._check_field(ref, context)
+        for header in headers_tested_valid(expr):
+            if header not in self.headers:
+                raise P4ValidationError(
+                    f"{context}: valid() tests unknown header {header!r}"
+                )
+        for reg in registers_referenced(expr):
+            if reg not in self.registers:
+                raise P4ValidationError(
+                    f"{context}: unknown register {reg!r}"
+                )
+
+    def _validate_actions(self) -> None:
+        for action in self.actions.values():
+            ctx = f"action {action.name!r}"
+            for prim in action.primitives:
+                for ref in prim.reads() | prim.writes():
+                    self._check_field(ref, ctx)
+                for reg in prim.registers_read() | prim.registers_written():
+                    if reg not in self.registers:
+                        raise P4ValidationError(
+                            f"{ctx}: unknown register {reg!r}"
+                        )
+                for header in prim.headers_added() | prim.headers_removed():
+                    if header not in self.headers:
+                        raise P4ValidationError(
+                            f"{ctx}: unknown header {header!r}"
+                        )
+                    if self.headers[header].metadata:
+                        raise P4ValidationError(
+                            f"{ctx}: cannot add/remove metadata {header!r}"
+                        )
+
+    def _validate_tables(self) -> None:
+        for table in self.tables.values():
+            ctx = f"table {table.name!r}"
+            for key in table.keys:
+                self._check_field(key.field, ctx)
+            for action_name in table.all_action_names():
+                if action_name not in self.actions:
+                    raise P4ValidationError(
+                        f"{ctx}: unknown action {action_name!r}"
+                    )
+            default = self.actions[table.default_action]
+            if len(table.default_action_args) != len(default.parameters):
+                raise P4ValidationError(
+                    f"{ctx}: default action {table.default_action!r} takes "
+                    f"{len(default.parameters)} args, got "
+                    f"{len(table.default_action_args)}"
+                )
+
+    def _validate_parser(self) -> None:
+        if self.parser is None:
+            return
+        self.parser.validate()
+        for state in self.parser.states.values():
+            ctx = f"parser state {state.name!r}"
+            for header in state.extracts:
+                if header not in self.headers:
+                    raise P4ValidationError(
+                        f"{ctx}: extracts unknown header {header!r}"
+                    )
+                if self.headers[header].metadata:
+                    raise P4ValidationError(
+                        f"{ctx}: cannot extract metadata {header!r}"
+                    )
+            if state.select is not None:
+                self._check_field(state.select, ctx)
+
+    def _validate_control(self) -> None:
+        seen: Set[str] = set()
+        for control in (self.ingress, self.egress):
+            for apply_node in iter_applies(control):
+                if apply_node.table not in self.tables:
+                    raise P4ValidationError(
+                        f"control applies unknown table "
+                        f"{apply_node.table!r}"
+                    )
+                if apply_node.table in seen:
+                    raise P4ValidationError(
+                        f"table {apply_node.table!r} is applied more than "
+                        "once"
+                    )
+                seen.add(apply_node.table)
+            for node in iter_nodes(control):
+                if isinstance(node, If):
+                    self._check_expr(node.condition, "control condition")
+
+    # ------------------------------------------------------------------
+    # Cloning / derived programs
+
+    def clone(self, new_name: Optional[str] = None) -> "Program":
+        """Deep copy (the optimizer always works on clones)."""
+        cloned = copy.deepcopy(self)
+        if new_name is not None:
+            cloned.name = new_name
+        return cloned
+
+    def with_table_size(self, table_name: str, new_size: int) -> "Program":
+        """Clone with one table's entry capacity changed (§3.3)."""
+        if table_name not in self.tables:
+            raise P4ValidationError(f"unknown table {table_name!r}")
+        out = self.clone()
+        out.tables[table_name] = out.tables[table_name].resized(new_size)
+        return out
+
+    def with_register_size(self, register_name: str, new_size: int) -> "Program":
+        """Clone with one register array's cell count changed (§3.3)."""
+        if register_name not in self.registers:
+            raise P4ValidationError(f"unknown register {register_name!r}")
+        out = self.clone()
+        out.registers[register_name] = out.registers[register_name].resized(
+            new_size
+        )
+        return out
+
+    def with_ingress(self, new_ingress: ControlNode) -> "Program":
+        """Clone with a replaced ingress control tree."""
+        out = self.clone()
+        out.ingress = new_ingress
+        return out
+
+    # ------------------------------------------------------------------
+    # Convenience queries used across the analysis layer
+
+    def tables_accessing_register(self, register_name: str) -> List[str]:
+        """Tables whose actions read or write the given register."""
+        out = []
+        for table in self.tables.values():
+            for action_name in table.all_action_names():
+                action = self.actions[action_name]
+                touched = action.registers_read() | action.registers_written()
+                if register_name in touched:
+                    out.append(table.name)
+                    break
+        return out
+
+    def action_for(self, table_name: str, action_name: str) -> Action:
+        table = self.tables[table_name]
+        if action_name not in table.all_action_names():
+            raise P4ValidationError(
+                f"table {table_name!r} does not use action {action_name!r}"
+            )
+        return self.actions[action_name]

@@ -1,0 +1,66 @@
+"""Primitive value types for the P4 intermediate representation.
+
+P4 values are fixed-width unsigned integers.  This module provides the small
+amount of arithmetic the IR and the simulator need: masking to a bit width,
+wrap-around addition/subtraction, and pretty formatting.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import P4SemanticsError
+
+#: Egress port value that marks a packet for dropping.  Mirrors the Tofino
+#: convention of a reserved "drop" port; the paper's running example relies on
+#: drop actions writing this special value (it is what makes the two ACL
+#: tables action-dependent).
+DROP_PORT = 511
+
+#: Reserved egress port for packets redirected to the controller (CPU port).
+CPU_PORT = 510
+
+
+def mask(width: int) -> int:
+    """Return the all-ones mask for a field of ``width`` bits."""
+    if width <= 0:
+        raise P4SemanticsError(f"field width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Truncate ``value`` to ``width`` bits (P4 wrap-around semantics)."""
+    return value & mask(width)
+
+
+def wrap_add(a: int, b: int, width: int) -> int:
+    """Add two ``width``-bit values with wrap-around."""
+    return (a + b) & mask(width)
+
+
+def wrap_sub(a: int, b: int, width: int) -> int:
+    """Subtract ``b`` from ``a`` with ``width``-bit wrap-around."""
+    return (a - b) & mask(width)
+
+
+def bytes_for_bits(bits: int) -> int:
+    """Number of bytes needed to store ``bits`` bits."""
+    if bits < 0:
+        raise P4SemanticsError(f"bit count must be non-negative, got {bits}")
+    return (bits + 7) // 8
+
+
+def check_fits(value: int, width: int, what: str = "value") -> int:
+    """Validate that ``value`` fits in ``width`` bits and return it."""
+    if value < 0:
+        raise P4SemanticsError(f"{what} must be non-negative, got {value}")
+    if value > mask(width):
+        raise P4SemanticsError(
+            f"{what} {value:#x} does not fit in {width} bits"
+        )
+    return value
+
+
+def format_value(value: int, width: int) -> str:
+    """Format a value for display, using hex for wide fields."""
+    if width > 16:
+        return f"0x{value:x}"
+    return str(value)

@@ -1,0 +1,40 @@
+"""Packet substrate: headers, bit packing, crafting, pcap I/O."""
+
+from repro.packets.headers import (
+    DHCP,
+    DNS,
+    ETHERNET,
+    GRE,
+    IPV4,
+    STANDARD_HEADER_TYPES,
+    TCP,
+    UDP,
+    VLAN,
+    int_to_ip,
+    ip_to_int,
+    mac_to_int,
+)
+from repro.packets.packet import concat_headers, pack_fields, unpack_fields
+from repro.packets.pcap import PcapRecord, read_packet_bytes, read_pcap, write_pcap
+
+__all__ = [
+    "DHCP",
+    "DNS",
+    "ETHERNET",
+    "GRE",
+    "IPV4",
+    "STANDARD_HEADER_TYPES",
+    "TCP",
+    "UDP",
+    "VLAN",
+    "PcapRecord",
+    "concat_headers",
+    "int_to_ip",
+    "ip_to_int",
+    "mac_to_int",
+    "pack_fields",
+    "read_packet_bytes",
+    "read_pcap",
+    "unpack_fields",
+    "write_pcap",
+]

@@ -1,0 +1,208 @@
+"""Packet crafting — the scapy substitute (§4 uses a traffic crafting
+library; offline here, so we build byte-accurate packets ourselves).
+
+All helpers return raw ``bytes`` ready to feed into the simulator or write
+to a pcap file.  Addresses can be dotted quads / colon-separated MACs or
+plain integers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from repro.exceptions import PacketError
+from repro.packets import headers as hdr
+from repro.packets.packet import concat_headers
+from repro.p4.program import HeaderType
+
+AddrLike = Union[str, int]
+
+
+def _ip(value: AddrLike) -> int:
+    return hdr.ip_to_int(value) if isinstance(value, str) else value
+
+
+def _mac(value: AddrLike) -> int:
+    return hdr.mac_to_int(value) if isinstance(value, str) else value
+
+
+DEFAULT_SRC_MAC = 0x020000000001
+DEFAULT_DST_MAC = 0x020000000002
+
+
+def ethernet_header(
+    dst: AddrLike = DEFAULT_DST_MAC,
+    src: AddrLike = DEFAULT_SRC_MAC,
+    ethertype: int = hdr.ETHERTYPE_IPV4,
+) -> Tuple[HeaderType, Dict[str, int]]:
+    return (
+        hdr.ETHERNET,
+        {"dstAddr": _mac(dst), "srcAddr": _mac(src), "etherType": ethertype},
+    )
+
+
+def ipv4_header(
+    src: AddrLike,
+    dst: AddrLike,
+    protocol: int,
+    ttl: int = 64,
+    identification: int = 0,
+    total_len: int = 0,
+) -> Tuple[HeaderType, Dict[str, int]]:
+    return (
+        hdr.IPV4,
+        {
+            "version": 4,
+            "ihl": 5,
+            "totalLen": total_len,
+            "identification": identification,
+            "ttl": ttl,
+            "protocol": protocol,
+            "srcAddr": _ip(src),
+            "dstAddr": _ip(dst),
+        },
+    )
+
+
+def udp_header(
+    sport: int, dport: int, length: int = 0
+) -> Tuple[HeaderType, Dict[str, int]]:
+    return (hdr.UDP, {"srcPort": sport, "dstPort": dport, "length": length})
+
+
+def tcp_header(
+    sport: int,
+    dport: int,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = hdr.TCP_FLAG_ACK,
+) -> Tuple[HeaderType, Dict[str, int]]:
+    return (
+        hdr.TCP,
+        {
+            "srcPort": sport,
+            "dstPort": dport,
+            "seqNo": seq,
+            "ackNo": ack,
+            "dataOffset": 5,
+            "flags": flags,
+        },
+    )
+
+
+def udp_packet(
+    src_ip: AddrLike,
+    dst_ip: AddrLike,
+    sport: int,
+    dport: int,
+    payload: bytes = b"",
+) -> bytes:
+    """Ethernet / IPv4 / UDP."""
+    return concat_headers(
+        [
+            ethernet_header(),
+            ipv4_header(src_ip, dst_ip, hdr.IPPROTO_UDP),
+            udp_header(sport, dport, length=8 + len(payload)),
+        ],
+        payload,
+    )
+
+
+def tcp_packet(
+    src_ip: AddrLike,
+    dst_ip: AddrLike,
+    sport: int,
+    dport: int,
+    seq: int = 0,
+    flags: int = hdr.TCP_FLAG_ACK,
+    payload: bytes = b"",
+) -> bytes:
+    """Ethernet / IPv4 / TCP."""
+    return concat_headers(
+        [
+            ethernet_header(),
+            ipv4_header(src_ip, dst_ip, hdr.IPPROTO_TCP),
+            tcp_header(sport, dport, seq=seq, flags=flags),
+        ],
+        payload,
+    )
+
+
+def dns_query(
+    src_ip: AddrLike,
+    dst_ip: AddrLike,
+    query_id: int = 0,
+    sport: int = 33333,
+) -> bytes:
+    """Ethernet / IPv4 / UDP(dport=53) / DNS query prefix."""
+    return concat_headers(
+        [
+            ethernet_header(),
+            ipv4_header(src_ip, dst_ip, hdr.IPPROTO_UDP),
+            udp_header(sport, hdr.UDP_PORT_DNS, length=8 + 12),
+            (hdr.DNS, {"id": query_id, "qdcount": 1}),
+        ]
+    )
+
+
+def dhcp_packet(
+    src_ip: AddrLike,
+    dst_ip: AddrLike = "255.255.255.255",
+    op: int = 2,
+    xid: int = 0,
+    from_server: bool = True,
+) -> bytes:
+    """Ethernet / IPv4 / UDP(67|68) / DHCP prefix.
+
+    ``from_server=True`` yields a server-originated message (sport 67), the
+    shape the ACL_DHCP table in Ex. 1 filters on.
+    """
+    sport = hdr.UDP_PORT_DHCP_SERVER if from_server else hdr.UDP_PORT_DHCP_CLIENT
+    dport = hdr.UDP_PORT_DHCP_CLIENT if from_server else hdr.UDP_PORT_DHCP_SERVER
+    return concat_headers(
+        [
+            ethernet_header(),
+            ipv4_header(src_ip, dst_ip, hdr.IPPROTO_UDP),
+            udp_header(sport, dport, length=8 + 8),
+            (hdr.DHCP, {"op": op, "htype": 1, "hlen": 6, "xid": xid}),
+        ]
+    )
+
+
+def gre_packet(
+    src_ip: AddrLike,
+    dst_ip: AddrLike,
+    inner_src: Optional[AddrLike] = None,
+    inner_dst: Optional[AddrLike] = None,
+    payload: bytes = b"",
+) -> bytes:
+    """Ethernet / IPv4(proto=GRE) / GRE [/ inner IPv4].
+
+    The NAT & GRE example's parser stops at the GRE header; the optional
+    inner IPv4 header rides along as opaque payload from the data plane's
+    point of view but lets the controller-side tests see a full tunnel.
+    """
+    parts = [
+        ethernet_header(),
+        ipv4_header(src_ip, dst_ip, hdr.IPPROTO_GRE),
+        (hdr.GRE, {"flags": 0, "protocol": hdr.ETHERTYPE_IPV4}),
+    ]
+    inner = b""
+    if inner_src is not None and inner_dst is not None:
+        inner_parts = [ipv4_header(inner_src, inner_dst, hdr.IPPROTO_UDP)]
+        inner = concat_headers(inner_parts)
+    elif (inner_src is None) != (inner_dst is None):
+        raise PacketError("inner_src and inner_dst must be given together")
+    return concat_headers(parts, inner + payload)
+
+
+def plain_ipv4_packet(
+    src_ip: AddrLike,
+    dst_ip: AddrLike,
+    protocol: int = hdr.IPPROTO_ICMP,
+    payload: bytes = b"",
+) -> bytes:
+    """Ethernet / IPv4 with an arbitrary L4 protocol left unparsed."""
+    return concat_headers(
+        [ethernet_header(), ipv4_header(src_ip, dst_ip, protocol)], payload
+    )

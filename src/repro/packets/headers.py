@@ -1,0 +1,168 @@
+"""Standard protocol header definitions and well-known constants.
+
+Single source of truth: both the example P4 programs and the packet
+crafting API use these :class:`~repro.p4.program.HeaderType` definitions,
+so crafted traffic always matches what the programs parse.
+
+DNS and DHCP carry only their fixed-size prefixes — enough for the paper's
+examples, which match on their presence and on UDP ports, never on variable
+payload content.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.p4.program import HeaderField, HeaderType
+
+# --- EtherTypes -------------------------------------------------------
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_VLAN = 0x8100
+
+# --- IP protocol numbers ----------------------------------------------
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+IPPROTO_GRE = 47
+
+# --- Well-known UDP ports ---------------------------------------------
+UDP_PORT_DNS = 53
+UDP_PORT_DHCP_SERVER = 67
+UDP_PORT_DHCP_CLIENT = 68
+
+#: TCP flag bits.
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_RST = 0x04
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+
+
+ETHERNET = HeaderType(
+    name="ethernet_t",
+    fields=(
+        HeaderField("dstAddr", 48),
+        HeaderField("srcAddr", 48),
+        HeaderField("etherType", 16),
+    ),
+)
+
+VLAN = HeaderType(
+    name="vlan_t",
+    fields=(
+        HeaderField("pcp", 3),
+        HeaderField("cfi", 1),
+        HeaderField("vid", 12),
+        HeaderField("etherType", 16),
+    ),
+)
+
+IPV4 = HeaderType(
+    name="ipv4_t",
+    fields=(
+        HeaderField("version", 4),
+        HeaderField("ihl", 4),
+        HeaderField("dscp", 8),
+        HeaderField("totalLen", 16),
+        HeaderField("identification", 16),
+        HeaderField("flags", 3),
+        HeaderField("fragOffset", 13),
+        HeaderField("ttl", 8),
+        HeaderField("protocol", 8),
+        HeaderField("hdrChecksum", 16),
+        HeaderField("srcAddr", 32),
+        HeaderField("dstAddr", 32),
+    ),
+)
+
+GRE = HeaderType(
+    name="gre_t",
+    fields=(
+        HeaderField("flags", 16),
+        HeaderField("protocol", 16),
+    ),
+)
+
+UDP = HeaderType(
+    name="udp_t",
+    fields=(
+        HeaderField("srcPort", 16),
+        HeaderField("dstPort", 16),
+        HeaderField("length", 16),
+        HeaderField("checksum", 16),
+    ),
+)
+
+TCP = HeaderType(
+    name="tcp_t",
+    fields=(
+        HeaderField("srcPort", 16),
+        HeaderField("dstPort", 16),
+        HeaderField("seqNo", 32),
+        HeaderField("ackNo", 32),
+        HeaderField("dataOffset", 4),
+        HeaderField("res", 4),
+        HeaderField("flags", 8),
+        HeaderField("window", 16),
+        HeaderField("checksum", 16),
+        HeaderField("urgentPtr", 16),
+    ),
+)
+
+DNS = HeaderType(
+    name="dns_t",
+    fields=(
+        HeaderField("id", 16),
+        HeaderField("flags", 16),
+        HeaderField("qdcount", 16),
+        HeaderField("ancount", 16),
+        HeaderField("nscount", 16),
+        HeaderField("arcount", 16),
+    ),
+)
+
+DHCP = HeaderType(
+    name="dhcp_t",
+    fields=(
+        HeaderField("op", 8),
+        HeaderField("htype", 8),
+        HeaderField("hlen", 8),
+        HeaderField("hops", 8),
+        HeaderField("xid", 32),
+    ),
+)
+
+#: All standard header types by name, for registering into programs.
+STANDARD_HEADER_TYPES: Dict[str, HeaderType] = {
+    t.name: t
+    for t in (ETHERNET, VLAN, IPV4, GRE, UDP, TCP, DNS, DHCP)
+}
+
+
+def ip_to_int(dotted: str) -> int:
+    """``"10.0.0.1"`` → 32-bit integer."""
+    parts = dotted.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {dotted!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"malformed IPv4 address {dotted!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """32-bit integer → dotted quad."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"not a 32-bit value: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_int(mac: str) -> int:
+    """``"aa:bb:cc:dd:ee:ff"`` → 48-bit integer."""
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address {mac!r}")
+    return int("".join(parts), 16)

@@ -1,0 +1,73 @@
+"""Bit-level packing and unpacking of header fields.
+
+Headers are sequences of arbitrary-width bit fields packed MSB-first, the
+wire layout P4 targets use.  Both the packet-crafting API and the
+behavioural simulator's parser/deparser are built on these two functions,
+so a crafted packet always parses back to the field values it was built
+from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import PacketError
+from repro.p4.program import HeaderType
+from repro.p4.types import mask
+
+
+def pack_fields(header_type: HeaderType, values: Dict[str, int]) -> bytes:
+    """Serialize field values into the header's wire format.
+
+    Missing fields default to zero; unknown fields are an error.
+    """
+    known = set(header_type.field_names())
+    unknown = set(values) - known
+    if unknown:
+        raise PacketError(
+            f"unknown fields for {header_type.name!r}: {sorted(unknown)}"
+        )
+    accum = 0
+    total_bits = 0
+    for field in header_type.fields:
+        value = values.get(field.name, 0)
+        if value < 0 or value > mask(field.width):
+            raise PacketError(
+                f"{header_type.name}.{field.name}={value} does not fit in "
+                f"{field.width} bits"
+            )
+        accum = (accum << field.width) | value
+        total_bits += field.width
+    pad = (8 - total_bits % 8) % 8
+    accum <<= pad
+    total_bits += pad
+    return accum.to_bytes(total_bits // 8, "big")
+
+
+def unpack_fields(header_type: HeaderType, data: bytes) -> Dict[str, int]:
+    """Parse a header's fields out of ``data`` (which must be long enough)."""
+    needed = header_type.byte_width
+    if len(data) < needed:
+        raise PacketError(
+            f"not enough bytes for {header_type.name!r}: need {needed}, "
+            f"have {len(data)}"
+        )
+    accum = int.from_bytes(data[:needed], "big")
+    total_bits = needed * 8
+    consumed = 0
+    out: Dict[str, int] = {}
+    for field in header_type.fields:
+        shift = total_bits - consumed - field.width
+        out[field.name] = (accum >> shift) & mask(field.width)
+        consumed += field.width
+    return out
+
+
+def concat_headers(
+    parts: Sequence[Tuple[HeaderType, Dict[str, int]]],
+    payload: bytes = b"",
+) -> bytes:
+    """Build a packet from an ordered list of (type, values) plus payload."""
+    chunks: List[bytes] = [pack_fields(t, v) for t, v in parts]
+    chunks.append(payload)
+    return b"".join(chunks)

@@ -1,0 +1,120 @@
+"""Classic pcap (libpcap) file reading and writing.
+
+P2GO's profiling input is "a trace of incoming traffic" (§2.2), typically a
+pcap.  This module implements the classic pcap container (magic
+``0xa1b2c3d4``, microsecond timestamps, Ethernet link type) so traces can be
+stored on disk and replayed, with byte-exact round-trips.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.exceptions import PcapError
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+
+
+@dataclass(frozen=True)
+class PcapRecord:
+    """One captured packet with its timestamp."""
+
+    ts_sec: int
+    ts_usec: int
+    data: bytes
+
+
+def write_pcap(
+    path: Union[str, Path],
+    packets: Sequence[Union[bytes, PcapRecord]],
+    linktype: int = LINKTYPE_ETHERNET,
+) -> None:
+    """Write packets to a classic pcap file.
+
+    Plain ``bytes`` entries get synthetic, monotonically increasing
+    timestamps (1 µs apart) so replay order is preserved.
+    """
+    with open(path, "wb") as f:
+        f.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC,
+                PCAP_VERSION[0],
+                PCAP_VERSION[1],
+                0,  # thiszone
+                0,  # sigfigs
+                65535,  # snaplen
+                linktype,
+            )
+        )
+        for i, pkt in enumerate(packets):
+            if isinstance(pkt, PcapRecord):
+                record = pkt
+            else:
+                record = PcapRecord(ts_sec=0, ts_usec=i, data=pkt)
+            f.write(
+                _RECORD_HEADER.pack(
+                    record.ts_sec,
+                    record.ts_usec,
+                    len(record.data),
+                    len(record.data),
+                )
+            )
+            f.write(record.data)
+
+
+def read_pcap(path: Union[str, Path]) -> List[PcapRecord]:
+    """Read every record from a classic pcap file."""
+    with open(path, "rb") as f:
+        blob = f.read()
+    if len(blob) < _GLOBAL_HEADER.size:
+        raise PcapError(f"{path}: truncated pcap global header")
+    (magic, vmaj, vmin, _tz, _sf, _snap, _link) = _GLOBAL_HEADER.unpack_from(
+        blob, 0
+    )
+    if magic == PCAP_MAGIC_SWAPPED:
+        raise PcapError(
+            f"{path}: big-endian pcap files are not supported"
+        )
+    if magic != PCAP_MAGIC:
+        raise PcapError(f"{path}: bad pcap magic {magic:#x}")
+    if (vmaj, vmin) != PCAP_VERSION:
+        raise PcapError(f"{path}: unsupported pcap version {vmaj}.{vmin}")
+
+    records: List[PcapRecord] = []
+    offset = _GLOBAL_HEADER.size
+    while offset < len(blob):
+        if offset + _RECORD_HEADER.size > len(blob):
+            raise PcapError(f"{path}: truncated record header")
+        ts_sec, ts_usec, incl_len, orig_len = _RECORD_HEADER.unpack_from(
+            blob, offset
+        )
+        offset += _RECORD_HEADER.size
+        if incl_len > orig_len:
+            raise PcapError(
+                f"{path}: record incl_len {incl_len} > orig_len {orig_len}"
+            )
+        if offset + incl_len > len(blob):
+            raise PcapError(f"{path}: truncated record payload")
+        records.append(
+            PcapRecord(
+                ts_sec=ts_sec,
+                ts_usec=ts_usec,
+                data=blob[offset : offset + incl_len],
+            )
+        )
+        offset += incl_len
+    return records
+
+
+def read_packet_bytes(path: Union[str, Path]) -> List[bytes]:
+    """Read just the packet payloads, in capture order."""
+    return [r.data for r in read_pcap(path)]

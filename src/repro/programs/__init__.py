@@ -1,0 +1,21 @@
+"""Example P4 programs: the paper's running example and §4's scenarios."""
+
+from repro.programs import (
+    enterprise,
+    example_firewall,
+    failure_detection,
+    nat_gre,
+    sourceguard,
+    telemetry,
+)
+from repro.programs.common import EXAMPLE_TARGET
+
+__all__ = [
+    "EXAMPLE_TARGET",
+    "enterprise",
+    "example_firewall",
+    "failure_detection",
+    "nat_gre",
+    "sourceguard",
+    "telemetry",
+]

@@ -1,0 +1,251 @@
+"""Enterprise edge switch — the §2.2 "what if the program does not fit"
+scenario.
+
+Combines the paper's building blocks into one program that *oversubscribes*
+the example target: the Ex. 1 firewall (FIB + two ACLs + DNS Count-Min
+Sketch), the Sourceguard Bloom filter, and a SYN monitor.  The static
+compiler needs more stages than the hardware has; P2GO "could compile and
+profile the program in simulation, independently of the required
+resources" and optimize until it fits — which is exactly what the fit-
+recovery bench demonstrates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.p4 import (
+    AddToField,
+    Apply,
+    BinOp,
+    Const,
+    Drop,
+    FieldRef,
+    HashFields,
+    If,
+    ParamRef,
+    Program,
+    ProgramBuilder,
+    RegisterRead,
+    RegisterSize,
+    RegisterWrite,
+    Seq,
+    SetEgressPort,
+    ValidExpr,
+)
+from repro.packets import headers as hdr
+from repro.packets.headers import ip_to_int
+from repro.programs import example_firewall as fw
+from repro.programs.common import (
+    add_ethernet_ipv4_parser,
+    register_standard_headers,
+)
+from repro.sim.runtime import RuntimeConfig
+from repro.sketches.dataplane import (
+    add_bloom_filter,
+    add_count_min_sketch,
+    preload_bloom_filter,
+)
+from repro.target.model import TargetModel
+from repro.traffic.generators import (
+    TracePacket,
+    dhcp_stream,
+    dns_stream,
+    interleave,
+    tcp_background,
+    udp_background,
+)
+
+#: The physical budget this program initially overshoots: the static
+#: compiler needs 11 stages, the hardware has 8.
+TARGET = TargetModel(
+    name="rmt-enterprise",
+    num_stages=8,
+    sram_blocks_per_stage=16,
+    tcam_blocks_per_stage=8,
+    sram_block_bytes=256,
+    tcam_block_bytes=64,
+    max_tables_per_stage=8,
+)
+
+BLOOM_CELLS = 4096
+ASSIGNED_CLIENT_IPS = tuple(ip_to_int("10.0.1.0") + i for i in range(1, 25))
+SPOOFED_IPS = tuple(ip_to_int("172.31.9.0") + i for i in range(1, 9))
+
+
+def build_program() -> Program:
+    b = ProgramBuilder("enterprise")
+    register_standard_headers(
+        b, ["ethernet", "ipv4", "udp", "tcp", "dns", "dhcp"]
+    )
+    add_ethernet_ipv4_parser(
+        b, l4=("udp", "tcp"), udp_apps=("dns", "dhcp")
+    )
+
+    b.action("ipv4_forward", [SetEgressPort(ParamRef("port"))],
+             parameters=["port"])
+    b.action("acl_udp_drop", [Drop()])
+    b.action("acl_dhcp_drop", [Drop()])
+    b.action("dns_drop", [Drop()])
+    b.action("sg_drop", [Drop()])
+
+    b.table("IPv4", keys=[("ipv4.dstAddr", "lpm")],
+            actions=["ipv4_forward"], size=fw.IPV4_TABLE_SIZE)
+    b.table("ACL_UDP", keys=[("udp.dstPort", "exact")],
+            actions=["acl_udp_drop"], size=64)
+    b.table("ACL_DHCP", keys=[("standard_metadata.ingress_port", "exact")],
+            actions=["acl_dhcp_drop"], size=64)
+
+    cms = add_count_min_sketch(
+        b,
+        name="dns_cms",
+        key_fields=["ipv4.srcAddr", "ipv4.dstAddr"],
+        cells=fw.SKETCH_CELLS,
+        match_key=("udp.dstPort", "exact"),
+        table_names=["Sketch_1", "Sketch_2"],
+        min_table_name="Sketch_Min",
+    )
+    b.table("DNS_Drop", keys=[("udp.dstPort", "exact")],
+            actions=["dns_drop"], size=16)
+
+    bloom = add_bloom_filter(
+        b,
+        name="sg",
+        key_fields=["ipv4.srcAddr"],
+        sizes=[BLOOM_CELLS, BLOOM_CELLS],
+        table_names=["sg_bf1", "sg_bf2"],
+    )
+    b.table(
+        "sg_verdict",
+        keys=[
+            (bloom.bit_fields[0].path, "exact"),
+            (bloom.bit_fields[1].path, "exact"),
+        ],
+        actions=["sg_drop"],
+        size=8,
+    )
+
+    # SYN monitor: a full-stage counter over destination addresses.
+    b.metadata("syn_meta", [("idx", 32), ("count", 32)])
+    b.register("syn_reg", width=32, size=fw.SKETCH_CELLS)
+    b.action(
+        "syn_bump",
+        [
+            HashFields(FieldRef("syn_meta", "idx"), "crc32_d",
+                       (FieldRef("ipv4", "dstAddr"),),
+                       RegisterSize("syn_reg")),
+            RegisterRead(FieldRef("syn_meta", "count"), "syn_reg",
+                         FieldRef("syn_meta", "idx")),
+            AddToField(FieldRef("syn_meta", "count"), Const(1)),
+            RegisterWrite("syn_reg", FieldRef("syn_meta", "idx"),
+                          FieldRef("syn_meta", "count")),
+        ],
+    )
+    b.table("syn_mon", keys=[], actions=[], default_action="syn_bump")
+
+    b.ingress(
+        Seq(
+            [
+                If(ValidExpr("ipv4"), Apply("IPv4")),
+                If(ValidExpr("udp"), Apply("ACL_UDP")),
+                If(ValidExpr("dhcp"), Apply("ACL_DHCP")),
+                If(
+                    ValidExpr("ipv4"),
+                    Seq([Apply("sg_bf1"), Apply("sg_bf2"),
+                         Apply("sg_verdict")]),
+                ),
+                If(
+                    ValidExpr("dns"),
+                    Seq(
+                        [
+                            Apply("Sketch_1"),
+                            Apply("Sketch_2"),
+                            Apply("Sketch_Min"),
+                            If(
+                                BinOp(">=", cms.count_field,
+                                      Const(fw.DNS_QUERY_THRESHOLD)),
+                                Apply("DNS_Drop"),
+                            ),
+                        ]
+                    ),
+                ),
+                If(
+                    BinOp(
+                        "==",
+                        BinOp("&", FieldRef("tcp", "flags"),
+                              Const(hdr.TCP_FLAG_SYN)),
+                        Const(hdr.TCP_FLAG_SYN),
+                    ),
+                    Apply("syn_mon"),
+                ),
+            ]
+        )
+    )
+    return b.build()
+
+
+def runtime_config(program: Program = None) -> RuntimeConfig:
+    cfg = RuntimeConfig()
+    cfg.add_entry("IPv4", [(ip_to_int("192.168.0.0"), 16)],
+                  "ipv4_forward", [2])
+    cfg.add_entry("IPv4", [(ip_to_int("10.0.0.0"), 8)], "ipv4_forward", [3])
+    cfg.add_entry("IPv4", [(0, 0)], "ipv4_forward", [1])
+    for port in fw.BLOCKED_UDP_PORTS:
+        cfg.add_entry("ACL_UDP", [port], "acl_udp_drop")
+    for port in fw.UNTRUSTED_INGRESS_PORTS:
+        cfg.add_entry("ACL_DHCP", [port], "acl_dhcp_drop")
+    cfg.add_entry("Sketch_1", [hdr.UDP_PORT_DNS], "dns_cms_update0")
+    cfg.add_entry("Sketch_2", [hdr.UDP_PORT_DNS], "dns_cms_update1")
+    cfg.add_entry("Sketch_Min", [hdr.UDP_PORT_DNS], "dns_cms_min_action")
+    cfg.add_entry("DNS_Drop", [hdr.UDP_PORT_DNS], "dns_drop")
+    cfg.add_entry("sg_verdict", [0, 0], "sg_drop")
+    cfg.add_entry("sg_verdict", [0, 1], "sg_drop")
+    cfg.add_entry("sg_verdict", [1, 0], "sg_drop")
+
+    from repro.programs.sourceguard import bloom_fragment_of
+
+    fragment = bloom_fragment_of(None)  # same fragment shape/names
+    preload_bloom_filter(
+        cfg, fragment, [((ip, 32),) for ip in ASSIGNED_CLIENT_IPS]
+    )
+    return cfg
+
+
+def make_trace(total: int = 6_000, seed: int = 41) -> List[TracePacket]:
+    """Enterprise mix: assigned-client traffic, the Ex. 1 abuse classes,
+    a small spoofed minority, and SYN-bearing TCP."""
+    rng = random.Random(seed)
+    blocked = udp_background(int(total * 0.06), rng, fw.BLOCKED_UDP_PORTS,
+                             src_net=ASSIGNED_CLIENT_IPS[0] & 0xFFFFFF00)
+    dhcp_bad: List[TracePacket] = []
+    for port in fw.UNTRUSTED_INGRESS_PORTS:
+        dhcp_bad.extend(
+            dhcp_stream(int(total * 0.03), rng, ingress_port=port)
+        )
+    heavy = dns_stream(fw.HEAVY_DNS_SRC, fw.HEAVY_DNS_DST,
+                       max(total // 40, 150))
+    spoofed = []
+    for _ in range(int(total * 0.03)):
+        src = rng.choice(SPOOFED_IPS)
+        spoofed.append(
+            __udp(src, ip_to_int("10.0.9.1") + rng.randrange(256), rng)
+        )
+    legit = []
+    for _ in range(int(total * 0.3)):
+        src = rng.choice(ASSIGNED_CLIENT_IPS)
+        legit.append(
+            __udp(src, ip_to_int("10.0.9.1") + rng.randrange(256), rng)
+        )
+    benign = tcp_background(
+        total - len(blocked) - len(dhcp_bad) - len(heavy) - len(spoofed)
+        - len(legit),
+        rng,
+    )
+    return interleave(rng, blocked, dhcp_bad, heavy, spoofed, legit, benign)
+
+
+def __udp(src: int, dst: int, rng: random.Random) -> bytes:
+    from repro.packets.craft import udp_packet
+
+    return udp_packet(src, dst, rng.randrange(1024, 65535), 9000)

@@ -1,0 +1,23 @@
+"""Behavioural switch simulator (bmv2/Tofino-model substitute)."""
+
+from repro.sim.events import ControllerPacket, ExecutionStep
+from repro.sim.hashing import ALGORITHMS, compute_hash
+from repro.sim.parser_engine import ParsedPacket, deparse_packet, parse_packet
+from repro.sim.runtime import RuntimeConfig, TableEntry
+from repro.sim.state import SwitchState
+from repro.sim.switch import BehavioralSwitch, SwitchResult
+
+__all__ = [
+    "ALGORITHMS",
+    "BehavioralSwitch",
+    "ControllerPacket",
+    "ExecutionStep",
+    "ParsedPacket",
+    "RuntimeConfig",
+    "SwitchResult",
+    "SwitchState",
+    "TableEntry",
+    "compute_hash",
+    "deparse_packet",
+    "parse_packet",
+]

@@ -1,0 +1,23 @@
+"""Events emitted by the behavioural switch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ControllerPacket:
+    """A packet redirected to the controller (CPU port)."""
+
+    index: int
+    reason: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class ExecutionStep:
+    """One table application during a packet's traversal."""
+
+    table: str
+    action: str
+    hit: bool

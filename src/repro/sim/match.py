@@ -1,0 +1,75 @@
+"""Table lookup: exact, longest-prefix, and ternary matching."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import SimulationError
+from repro.p4.tables import MatchKind, Table
+from repro.sim.runtime import TableEntry
+
+
+def _spec_matches(
+    kind: MatchKind, spec, value: int
+) -> Tuple[bool, int]:
+    """Return (matches, specificity).
+
+    Specificity is the prefix length for LPM keys (used to pick the longest
+    prefix) and 0 otherwise.
+    """
+    if kind is MatchKind.EXACT:
+        return (spec == value, 0)
+    if kind is MatchKind.LPM:
+        # lookup() canonicalizes LPM specs to (value, prefix_len, width).
+        match_value, plen, width = spec
+        if plen == 0:
+            return (True, 0)
+        shift = width - plen
+        return ((value >> shift) == (match_value >> shift), plen)
+    # TERNARY
+    match_value, mask = spec
+    return ((value & mask) == (match_value & mask), 0)
+
+
+def lookup(
+    table: Table,
+    key_widths: Sequence[int],
+    key_values: Sequence[int],
+    entries: Sequence[TableEntry],
+) -> Optional[TableEntry]:
+    """Find the winning entry for the given key values, or None (miss).
+
+    * Exact tables: first (unique) equal entry wins.
+    * LPM: the entry with the longest total prefix length wins.
+    * Ternary: the matching entry with the highest priority wins.
+    """
+    if len(key_values) != len(table.keys):
+        raise SimulationError(
+            f"table {table.name!r}: got {len(key_values)} key values for "
+            f"{len(table.keys)} keys"
+        )
+    best: Optional[TableEntry] = None
+    best_rank: Tuple[int, int] = (-1, -1)
+    for entry in entries:
+        total_specificity = 0
+        matched = True
+        for key, width, spec, value in zip(
+            table.keys, key_widths, entry.match, key_values
+        ):
+            if key.kind is MatchKind.LPM:
+                match_value, plen = spec
+                canonical = (match_value, plen, width)
+                ok, specificity = _spec_matches(key.kind, canonical, value)
+            else:
+                ok, specificity = _spec_matches(key.kind, spec, value)
+            if not ok:
+                matched = False
+                break
+            total_specificity += specificity
+        if not matched:
+            continue
+        rank = (total_specificity, entry.priority)
+        if best is None or rank > best_rank:
+            best = entry
+            best_rank = rank
+    return best

@@ -1,0 +1,212 @@
+"""The behavioural switch: parse → ingress control → deparse.
+
+This is the simulator P2GO profiles against — our stand-in for the Tofino
+simulator (the paper notes bmv2-style behavioural simulation suffices for
+everything except realistic resource allocation, which lives in
+:mod:`repro.target` instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import SimulationError
+from repro.p4.actions import STANDARD_METADATA
+from repro.p4.control import Apply, ControlNode, If, Seq
+from repro.p4.expressions import FieldRef
+from repro.p4.program import Program
+from repro.sim.action_interp import Phv, eval_expr, execute_action
+from repro.sim.events import ControllerPacket, ExecutionStep
+from repro.sim.match import lookup
+from repro.sim.parser_engine import deparse_packet, parse_packet
+from repro.sim.runtime import RuntimeConfig
+from repro.sim.state import SwitchState
+
+
+@dataclass
+class SwitchResult:
+    """Everything observable about one packet's traversal."""
+
+    index: int
+    input_bytes: bytes
+    output_bytes: bytes
+    headers: Dict[str, Dict[str, int]]
+    valid: Set[str]
+    steps: List[ExecutionStep]
+    egress_port: int
+    dropped: bool
+    to_controller: bool
+    controller_reason: int
+
+    def executed_tables(self) -> List[str]:
+        return [s.table for s in self.steps]
+
+    def hit_tables(self) -> List[str]:
+        return [s.table for s in self.steps if s.hit]
+
+    def forwarding_decision(self) -> Tuple[int, bool, bool]:
+        """(egress_port, dropped, to_controller) — the behavioural output
+        P2GO must preserve."""
+        return (self.egress_port, self.dropped, self.to_controller)
+
+
+class BehavioralSwitch:
+    """A software switch running one program with one runtime config.
+
+    Register state persists across packets; call :meth:`reset_state` to
+    start a fresh profiling run.
+    """
+
+    def __init__(self, program: Program, config: Optional[RuntimeConfig] = None):
+        program.validate()
+        self.program = program
+        self.config = config if config is not None else RuntimeConfig()
+        self.config.validate(program)
+        self.state = SwitchState(program)
+        self.controller_queue: List[ControllerPacket] = []
+        self._packet_count = 0
+        self._apply_register_inits()
+
+    # ------------------------------------------------------------------
+    def _apply_register_inits(self) -> None:
+        from repro.sim.hashing import compute_hash
+
+        for register, index, value in self.config.register_inits:
+            self.state.write(register, index, value)
+        for register, algorithm, key, value in self.config.hashed_inits:
+            size = self.state.register_size(register)
+            self.state.write(
+                register, compute_hash(algorithm, key, size), value
+            )
+
+    def reset_state(self) -> None:
+        """Reset registers to their configured initial contents and clear
+        the controller queue."""
+        self.state.reset()
+        self.controller_queue.clear()
+        self._packet_count = 0
+        self._apply_register_inits()
+
+    # ------------------------------------------------------------------
+    def process(self, data: bytes, ingress_port: int = 0) -> SwitchResult:
+        """Push one packet through parse → ingress → deparse."""
+        parsed = parse_packet(self.program, data)
+        phv = Phv(self.program, parsed.headers, parsed.valid)
+        phv.write(FieldRef(STANDARD_METADATA, "ingress_port"), ingress_port)
+        steps: List[ExecutionStep] = []
+        self._run_control(self.program.ingress, phv, steps)
+
+        # The egress pipeline runs for packets the traffic manager
+        # actually emits: neither dropped nor punted to the controller.
+        if not (
+            phv.read(FieldRef(STANDARD_METADATA, "drop_flag"))
+            or phv.read(FieldRef(STANDARD_METADATA, "to_controller"))
+        ):
+            self._run_control(self.program.egress, phv, steps)
+
+        egress = phv.read(FieldRef(STANDARD_METADATA, "egress_port"))
+        dropped = bool(phv.read(FieldRef(STANDARD_METADATA, "drop_flag")))
+        to_ctrl = bool(phv.read(FieldRef(STANDARD_METADATA, "to_controller")))
+        reason = phv.read(FieldRef(STANDARD_METADATA, "controller_reason"))
+
+        packet_valid = {
+            h for h in phv.valid if not self.program.headers[h].metadata
+        }
+        output = deparse_packet(
+            self.program, phv.headers, packet_valid, parsed.payload
+        )
+        index = self._packet_count
+        self._packet_count += 1
+        if to_ctrl:
+            self.controller_queue.append(
+                ControllerPacket(index=index, reason=reason, data=output)
+            )
+        return SwitchResult(
+            index=index,
+            input_bytes=data,
+            output_bytes=output,
+            headers=phv.headers,
+            valid=phv.valid,
+            steps=steps,
+            egress_port=egress,
+            dropped=dropped,
+            to_controller=to_ctrl,
+            controller_reason=reason,
+        )
+
+    def process_trace(
+        self, packets: Sequence, ingress_port: int = 0
+    ) -> List[SwitchResult]:
+        """Process a whole trace in order (state accumulates).
+
+        Entries are raw ``bytes`` (using ``ingress_port``) or
+        ``(bytes, port)`` tuples for per-packet ingress ports.
+        """
+        results = []
+        for entry in packets:
+            if isinstance(entry, tuple):
+                data, port = entry
+            else:
+                data, port = entry, ingress_port
+            results.append(self.process(data, port))
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_control(
+        self, node: ControlNode, phv: Phv, steps: List[ExecutionStep]
+    ) -> None:
+        if isinstance(node, Seq):
+            for child in node.nodes:
+                self._run_control(child, phv, steps)
+            return
+        if isinstance(node, If):
+            taken = eval_expr(node.condition, phv, self.state, {})
+            if taken:
+                self._run_control(node.then_node, phv, steps)
+            elif node.else_node is not None:
+                self._run_control(node.else_node, phv, steps)
+            return
+        if isinstance(node, Apply):
+            hit = self._apply_table(node.table, phv, steps)
+            if hit and node.on_hit is not None:
+                self._run_control(node.on_hit, phv, steps)
+            if not hit and node.on_miss is not None:
+                self._run_control(node.on_miss, phv, steps)
+            return
+        raise SimulationError(f"unknown control node {node!r}")
+
+    def _apply_table(
+        self, table_name: str, phv: Phv, steps: List[ExecutionStep]
+    ) -> bool:
+        table = self.program.tables[table_name]
+        entry = None
+        # A key whose header is invalid cannot match any entry.
+        keys_valid = all(phv.is_valid(k.field.header) for k in table.keys)
+        if table.keys and keys_valid:
+            key_widths = [
+                self.program.field_width(k.field) for k in table.keys
+            ]
+            key_values = [phv.read(k.field) for k in table.keys]
+            entry = lookup(
+                table,
+                key_widths,
+                key_values,
+                self.config.entries_for(table_name),
+            )
+        if entry is not None:
+            action = self.program.actions[entry.action]
+            execute_action(
+                self.program, action, entry.action_args, phv, self.state
+            )
+            steps.append(
+                ExecutionStep(table=table_name, action=entry.action, hit=True)
+            )
+            return True
+        default_name, default_args = self.config.default_for(table)
+        action = self.program.actions[default_name]
+        execute_action(self.program, action, default_args, phv, self.state)
+        steps.append(
+            ExecutionStep(table=table_name, action=default_name, hit=False)
+        )
+        return False

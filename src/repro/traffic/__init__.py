@@ -1,0 +1,23 @@
+"""Deterministic traffic generation (the recorded-pcap substitute)."""
+
+from repro.traffic.generators import (
+    TracePacket,
+    dhcp_stream,
+    dns_stream,
+    find_partner_flow,
+    interleave,
+    ip_pair_key,
+    tcp_background,
+    udp_background,
+)
+
+__all__ = [
+    "TracePacket",
+    "dhcp_stream",
+    "dns_stream",
+    "find_partner_flow",
+    "interleave",
+    "ip_pair_key",
+    "tcp_background",
+    "udp_background",
+]

@@ -1,0 +1,166 @@
+"""Deterministic traffic generation utilities.
+
+Traces here play the role of the paper's recorded pcaps (§2.2): they are
+deterministic (seeded), byte-accurate, and engineered so each evaluation
+scenario exhibits exactly the phenomenon the paper describes — including
+the Count-Min-Sketch collision that makes phase 3 *reject* a sketch resize
+(§2.2 phase 3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+from repro.packets import headers as hdr
+from repro.packets.craft import (
+    dhcp_packet,
+    dns_query,
+    tcp_packet,
+    udp_packet,
+)
+from repro.sim.hashing import compute_hash
+
+#: A trace packet: raw bytes, optionally with an ingress port.
+TracePacket = Union[bytes, Tuple[bytes, int]]
+
+#: Bound on collision searches (expected trials are ~7e5 for the sizes the
+#: examples use; 64x headroom).
+MAX_COLLISION_TRIALS = 50_000_000
+
+Key = Tuple[Tuple[int, int], ...]
+
+
+def ip_pair_key(src: int, dst: int) -> Key:
+    """CMS key for a (source IP, destination IP) pair."""
+    return ((src, 32), (dst, 32))
+
+
+def find_partner_flow(
+    heavy_key: Key,
+    collide_algo: str,
+    collide_size: int,
+    collide_full_size: int,
+    other_algo: str,
+    other_size: int,
+    dst: int,
+    src_start: int,
+) -> int:
+    """Find a source IP whose flow shares CMS cells with ``heavy_key`` in a
+    very particular way.
+
+    The returned flow:
+
+    * collides with the heavy flow in the *resized* row
+      (``collide_algo`` mod ``collide_size``),
+    * does **not** collide in that row at its original size
+      (``collide_full_size``) — so the original program is unaffected,
+    * collides in the *other* row at its full size (``other_algo`` mod
+      ``other_size``) — so the min estimate is inflated only once the
+      first row shrinks.
+
+    This is the engineered hash collision behind the paper's phase-3
+    narrative: shrinking one sketch row causes over-counting that flips
+    ``DNS_Drop``'s hit rate, so P2GO discards that resize.
+    """
+    want_collide = compute_hash(collide_algo, heavy_key, collide_size)
+    avoid_full = compute_hash(collide_algo, heavy_key, collide_full_size)
+    want_other = compute_hash(other_algo, heavy_key, other_size)
+    heavy_src = heavy_key[0][0]
+    for trial in range(MAX_COLLISION_TRIALS):
+        src = (src_start + trial) & 0xFFFFFFFF
+        if src == heavy_src:
+            continue
+        key = ip_pair_key(src, dst)
+        if compute_hash(collide_algo, key, collide_size) != want_collide:
+            continue
+        if compute_hash(collide_algo, key, collide_full_size) == avoid_full:
+            continue
+        if compute_hash(other_algo, key, other_size) != want_other:
+            continue
+        return src
+    raise ReproError(
+        "no colliding partner flow found within "
+        f"{MAX_COLLISION_TRIALS} trials"
+    )
+
+
+def interleave(
+    rng: random.Random, *groups: Sequence[TracePacket]
+) -> List[TracePacket]:
+    """Deterministically shuffle several packet groups together."""
+    merged: List[TracePacket] = []
+    for group in groups:
+        merged.extend(group)
+    rng.shuffle(merged)
+    return merged
+
+
+def udp_background(
+    count: int,
+    rng: random.Random,
+    dst_ports: Sequence[int],
+    src_net: int = 0x0A000000,  # 10.0.0.0
+    dst_net: int = 0xC0A80000,  # 192.168.0.0
+) -> List[bytes]:
+    """Benign UDP traffic to the given destination ports."""
+    packets = []
+    for _ in range(count):
+        src = src_net | rng.randrange(1, 1 << 16)
+        dst = dst_net | rng.randrange(1, 1 << 16)
+        packets.append(
+            udp_packet(src, dst, rng.randrange(1024, 65535),
+                       rng.choice(list(dst_ports)))
+        )
+    return packets
+
+
+def tcp_background(
+    count: int,
+    rng: random.Random,
+    src_net: int = 0x0A000000,
+    dst_net: int = 0xC0A80000,
+    dst_ports: Sequence[int] = (80, 443, 22),
+) -> List[bytes]:
+    """Benign TCP traffic (fresh sequence numbers, no retransmissions)."""
+    packets = []
+    for _ in range(count):
+        src = src_net | rng.randrange(1, 1 << 16)
+        dst = dst_net | rng.randrange(1, 1 << 16)
+        packets.append(
+            tcp_packet(
+                src,
+                dst,
+                rng.randrange(1024, 65535),
+                rng.choice(list(dst_ports)),
+                seq=rng.randrange(1 << 32),
+            )
+        )
+    return packets
+
+
+def dns_stream(
+    src: int, dst: int, count: int, query_id_base: int = 0
+) -> List[bytes]:
+    """``count`` DNS queries from one (src, dst) pair."""
+    return [
+        dns_query(src, dst, query_id=(query_id_base + i) & 0xFFFF)
+        for i in range(count)
+    ]
+
+
+def dhcp_stream(
+    count: int,
+    rng: random.Random,
+    ingress_port: int,
+    server_net: int = 0xAC100000,  # 172.16.0.0
+) -> List[Tuple[bytes, int]]:
+    """DHCP server replies arriving on a specific ingress port."""
+    packets: List[Tuple[bytes, int]] = []
+    for _ in range(count):
+        server = server_net | rng.randrange(1, 1 << 12)
+        packets.append(
+            (dhcp_packet(server, xid=rng.randrange(1 << 32)), ingress_port)
+        )
+    return packets

@@ -1,0 +1,169 @@
+"""Shared fixtures.
+
+Expensive artifacts (example programs, traces, full pipeline runs) are
+session-scoped: they are deterministic, and every test treats them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import P2GO
+from repro.core.profiler import Profiler
+from repro.p4 import (
+    Apply,
+    Drop,
+    If,
+    ParamRef,
+    ProgramBuilder,
+    Seq,
+    SetEgressPort,
+    ValidExpr,
+)
+from repro.packets import headers as hdr
+from repro.programs import (
+    example_firewall,
+    failure_detection,
+    nat_gre,
+    sourceguard,
+)
+from repro.sim import RuntimeConfig
+
+#: Trace size used throughout the suite — big enough for the heavy DNS
+#: flow to cross the 128-query threshold, small enough to keep the suite
+#: fast.
+TRACE_SIZE = 4000
+
+
+def build_toy_program(name: str = "toy") -> "Program":
+    """A small two-table router + ACL used by many unit tests."""
+    b = ProgramBuilder(name)
+    for t in (hdr.ETHERNET, hdr.IPV4, hdr.UDP):
+        b.header_type(t.name, [(f.name, f.width) for f in t.fields])
+    b.header("ethernet", "ethernet_t")
+    b.header("ipv4", "ipv4_t")
+    b.header("udp", "udp_t")
+    b.parser_state(
+        "start",
+        extracts=["ethernet"],
+        select="ethernet.etherType",
+        transitions={hdr.ETHERTYPE_IPV4: "parse_ipv4"},
+    )
+    b.parser_state(
+        "parse_ipv4",
+        extracts=["ipv4"],
+        select="ipv4.protocol",
+        transitions={hdr.IPPROTO_UDP: "parse_udp"},
+    )
+    b.parser_state("parse_udp", extracts=["udp"])
+    b.action("fwd", [SetEgressPort(ParamRef("port"))], parameters=["port"])
+    b.action("deny", [Drop()])
+    b.table(
+        "fib",
+        keys=[("ipv4.dstAddr", "lpm")],
+        actions=["fwd"],
+        size=64,
+    )
+    b.table(
+        "acl",
+        keys=[("udp.dstPort", "exact")],
+        actions=["deny"],
+        size=16,
+    )
+    b.ingress(
+        Seq(
+            [
+                If(ValidExpr("ipv4"), Apply("fib")),
+                If(ValidExpr("udp"), Apply("acl")),
+            ]
+        )
+    )
+    return b.build()
+
+
+def toy_config() -> RuntimeConfig:
+    cfg = RuntimeConfig()
+    cfg.add_entry("fib", [(hdr.ip_to_int("10.0.0.0"), 8)], "fwd", [3])
+    cfg.add_entry("fib", [(0, 0)], "fwd", [1])
+    cfg.add_entry("acl", [53], "deny")
+    return cfg
+
+
+@pytest.fixture
+def toy_program():
+    return build_toy_program()
+
+
+@pytest.fixture
+def toy_runtime():
+    return toy_config()
+
+
+# ---------------------------------------------------------------------
+# Example firewall (Ex. 1)
+
+
+@pytest.fixture(scope="session")
+def firewall_program():
+    return example_firewall.build_program()
+
+
+@pytest.fixture(scope="session")
+def firewall_config():
+    return example_firewall.runtime_config()
+
+
+@pytest.fixture(scope="session")
+def firewall_trace():
+    return example_firewall.make_trace(TRACE_SIZE)
+
+
+@pytest.fixture(scope="session")
+def firewall_profile(firewall_program, firewall_config, firewall_trace):
+    return Profiler(firewall_program, firewall_config).profile(firewall_trace)
+
+
+@pytest.fixture(scope="session")
+def firewall_result(firewall_program, firewall_config, firewall_trace):
+    """The full 4-phase P2GO run on Ex. 1 (Table 2's source of truth)."""
+    return P2GO(
+        firewall_program,
+        firewall_config,
+        firewall_trace,
+        example_firewall.TARGET,
+    ).run()
+
+
+# ---------------------------------------------------------------------
+# §4 scenarios
+
+
+@pytest.fixture(scope="session")
+def natgre_result():
+    prog = nat_gre.build_program()
+    return P2GO(
+        prog, nat_gre.runtime_config(), nat_gre.make_trace(), nat_gre.TARGET
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def sourceguard_result():
+    prog = sourceguard.build_program()
+    return P2GO(
+        prog,
+        sourceguard.runtime_config(prog),
+        sourceguard.make_trace(),
+        sourceguard.TARGET,
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def failure_result():
+    prog = failure_detection.build_program()
+    return P2GO(
+        prog,
+        failure_detection.runtime_config(),
+        failure_detection.make_trace(),
+        failure_detection.TARGET,
+    ).run()

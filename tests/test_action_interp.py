@@ -1,0 +1,166 @@
+"""Direct unit tests for expression evaluation and action execution."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.p4 import (
+    AddToField,
+    BinOp,
+    Const,
+    FieldRef,
+    LAnd,
+    LNot,
+    LOr,
+    ModifyField,
+    ParamRef,
+    ProgramBuilder,
+    RegisterSize,
+    SubtractFromField,
+    ValidExpr,
+)
+from repro.sim.action_interp import Phv, eval_expr, execute_action
+from repro.sim.state import SwitchState
+
+
+@pytest.fixture
+def env():
+    b = ProgramBuilder("interp")
+    b.header_type("h_t", [("f", 8), ("g", 16)])
+    b.header("h", "h_t")
+    b.metadata("m", [("x", 8)])
+    b.register("reg", width=8, size=4)
+    b.action("nop2", [])
+    program = b.build()
+    phv = Phv(program, {"h": {"f": 10, "g": 300}}, {"h"})
+    state = SwitchState(program)
+    return program, phv, state
+
+
+class TestEvalExpr:
+    def _eval(self, env, expr, args=None):
+        _program, phv, state = env
+        return eval_expr(expr, phv, state, args or {})
+
+    def test_field_read(self, env):
+        assert self._eval(env, FieldRef("h", "f")) == 10
+
+    def test_invalid_header_reads_zero(self, env):
+        program, phv, state = env
+        phv.set_invalid("h")
+        assert eval_expr(FieldRef("h", "f"), phv, state, {}) == 0
+
+    def test_const_and_param(self, env):
+        assert self._eval(env, Const(7)) == 7
+        assert self._eval(env, ParamRef("p"), {"p": 42}) == 42
+
+    def test_unbound_param_raises(self, env):
+        with pytest.raises(SimulationError):
+            self._eval(env, ParamRef("ghost"))
+
+    def test_register_size(self, env):
+        assert self._eval(env, RegisterSize("reg")) == 4
+
+    def test_valid_expr(self, env):
+        assert self._eval(env, ValidExpr("h")) == 1
+        assert self._eval(env, ValidExpr("m")) == 1  # metadata always valid
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("==", 5, 5, 1), ("==", 5, 6, 0),
+            ("!=", 5, 6, 1), ("!=", 5, 5, 0),
+            ("<", 4, 5, 1), ("<", 5, 5, 0),
+            ("<=", 5, 5, 1), ("<=", 6, 5, 0),
+            (">", 6, 5, 1), (">", 5, 5, 0),
+            (">=", 5, 5, 1), (">=", 4, 5, 0),
+            ("+", 3, 4, 7),
+            ("&", 0b1100, 0b1010, 0b1000),
+            ("|", 0b1100, 0b1010, 0b1110),
+            ("^", 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_binops(self, env, op, left, right, expected):
+        expr = BinOp(op, Const(left), Const(right))
+        assert self._eval(env, expr) == expected
+
+    def test_subtraction_can_go_negative_until_written(self, env):
+        assert self._eval(env, BinOp("-", Const(3), Const(5))) == -2
+
+    def test_logical_operators(self, env):
+        t, f = Const(1), Const(0)
+        assert self._eval(env, LAnd(t, t)) == 1
+        assert self._eval(env, LAnd(t, f)) == 0
+        assert self._eval(env, LOr(f, t)) == 1
+        assert self._eval(env, LOr(f, f)) == 0
+        assert self._eval(env, LNot(f)) == 1
+
+    def test_logical_nests_with_comparisons(self, env):
+        expr = LAnd(
+            ValidExpr("h"),
+            BinOp(">=", FieldRef("h", "g"), Const(300)),
+        )
+        assert self._eval(env, expr) == 1
+
+
+class TestExecuteAction:
+    def test_modify_truncates_to_width(self, env):
+        program, phv, state = env
+        from repro.p4.actions import Action
+
+        action = Action(
+            name="a",
+            primitives=(ModifyField(FieldRef("h", "f"), Const(0x1FF)),),
+        )
+        execute_action(program, action, (), phv, state)
+        assert phv.read(FieldRef("h", "f")) == 0xFF
+
+    def test_add_wraps(self, env):
+        program, phv, state = env
+        from repro.p4.actions import Action
+
+        phv.write(FieldRef("h", "f"), 250)
+        action = Action(
+            name="a",
+            primitives=(AddToField(FieldRef("h", "f"), Const(10)),),
+        )
+        execute_action(program, action, (), phv, state)
+        assert phv.read(FieldRef("h", "f")) == 4  # (250+10) mod 256
+
+    def test_subtract_wraps(self, env):
+        program, phv, state = env
+        from repro.p4.actions import Action
+
+        phv.write(FieldRef("h", "f"), 1)
+        action = Action(
+            name="a",
+            primitives=(SubtractFromField(FieldRef("h", "f"), Const(3)),),
+        )
+        execute_action(program, action, (), phv, state)
+        assert phv.read(FieldRef("h", "f")) == 254
+
+    def test_arity_checked(self, env):
+        program, phv, state = env
+        from repro.p4.actions import Action
+
+        action = Action(
+            name="a",
+            parameters=("v",),
+            primitives=(ModifyField(FieldRef("h", "f"), ParamRef("v")),),
+        )
+        with pytest.raises(SimulationError):
+            execute_action(program, action, (), phv, state)
+        execute_action(program, action, (9,), phv, state)
+        assert phv.read(FieldRef("h", "f")) == 9
+
+    def test_add_header_zero_fills(self, env):
+        program, phv, state = env
+        from repro.p4.actions import Action, AddHeader, RemoveHeader
+
+        phv.set_invalid("h")
+        action = Action(name="a", primitives=(AddHeader("h"),))
+        execute_action(program, action, (), phv, state)
+        assert phv.is_valid("h")
+        assert phv.read(FieldRef("h", "f")) == 0
+        action2 = Action(name="b", primitives=(RemoveHeader("h"),))
+        execute_action(program, action2, (), phv, state)
+        assert not phv.is_valid("h")

@@ -1,0 +1,178 @@
+"""Property tests: stage-allocation invariants over random programs.
+
+For any generated program, the allocator must (1) place every applied
+table on a contiguous stage span, (2) respect every dependency's minimum
+stage separation, (3) never oversubscribe a stage's SRAM/TCAM blocks or
+table slots, and (4) be deterministic.
+"""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.dependencies import build_dependency_graph
+from repro.p4 import (
+    Apply,
+    Const,
+    Drop,
+    FieldRef,
+    If,
+    ModifyField,
+    ProgramBuilder,
+    Seq,
+    SetEgressPort,
+    ValidExpr,
+)
+from repro.target.allocation import allocate
+from repro.target.compiler import compile_program
+from repro.target.model import TargetModel
+from repro.target.resources import compute_footprints
+
+TARGET = TargetModel(
+    name="prop",
+    num_stages=32,
+    sram_blocks_per_stage=8,
+    tcam_blocks_per_stage=4,
+    sram_block_bytes=128,
+    tcam_block_bytes=64,
+    max_tables_per_stage=3,
+)
+
+META_FIELDS = ("m0", "m1", "m2")
+
+# Action palettes: (name suffix, primitive factory)
+ACTION_KINDS = st.sampled_from(["drop", "egress", "write0", "write1",
+                                "copy01", "none"])
+KEY_KINDS = st.sampled_from(["exact_f1", "exact_f2", "lpm_f1", "exact_m0",
+                             "keyless"])
+
+
+@st.composite
+def random_programs(draw):
+    n_tables = draw(st.integers(2, 6))
+    b = ProgramBuilder("prop")
+    b.header_type("h_t", [("f1", 32), ("f2", 16)])
+    b.header("h", "h_t")
+    b.metadata("m", [(f, 16) for f in META_FIELDS])
+    b.parser_state("start", extracts=["h"])
+
+    def primitives_for(kind):
+        if kind == "drop":
+            return [Drop()]
+        if kind == "egress":
+            return [SetEgressPort(Const(2))]
+        if kind == "write0":
+            return [ModifyField(FieldRef("m", "m0"), Const(1))]
+        if kind == "write1":
+            return [ModifyField(FieldRef("m", "m1"), Const(1))]
+        if kind == "copy01":
+            return [ModifyField(FieldRef("m", "m1"), FieldRef("m", "m0"))]
+        return []
+
+    nodes = []
+    for i in range(n_tables):
+        action_kind = draw(ACTION_KINDS)
+        key_kind = draw(KEY_KINDS)
+        size = draw(st.sampled_from([1, 8, 32, 128, 512]))
+        b.action(f"a{i}", primitives_for(action_kind))
+        keys = {
+            "exact_f1": [("h.f1", "exact")],
+            "exact_f2": [("h.f2", "exact")],
+            "lpm_f1": [("h.f1", "lpm")],
+            "exact_m0": [("m.m0", "exact")],
+            "keyless": [],
+        }[key_kind]
+        if keys:
+            b.table(f"t{i}", keys=keys, actions=[f"a{i}"], size=size)
+        else:
+            b.table(f"t{i}", keys=[], actions=[], default_action=f"a{i}")
+        node = Apply(f"t{i}")
+        if draw(st.booleans()):
+            node = If(ValidExpr("h"), node)
+        nodes.append(node)
+    b.ingress(Seq(nodes))
+    return b.build()
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_programs())
+def test_allocation_invariants(program):
+    result = compile_program(program, TARGET)
+    placements = result.allocation.placements
+    footprints = compute_footprints(program)
+
+    # (1) Every applied table is placed on a contiguous span.
+    for table in program.tables_in_control_order():
+        placement = placements[table]
+        assert placement.first_stage <= placement.last_stage
+        stage_list = placement.stages()
+        assert stage_list == list(
+            range(placement.first_stage, placement.last_stage + 1)
+        )
+
+    # (2) Dependencies respected.
+    dep_graph = result.dependency_graph
+    for dep in dep_graph.edges():
+        src = placements[dep.src]
+        dst = placements[dep.dst]
+        if dep.kind.aligns_to_first_stage:
+            assert dst.first_stage >= src.first_stage, (
+                f"{dep.src}->{dep.dst} ({dep.kind})"
+            )
+        else:
+            assert (
+                dst.first_stage >= src.last_stage + dep.min_stage_separation
+            ), f"{dep.src}->{dep.dst} ({dep.kind})"
+
+    # (3) No stage oversubscribed — recomputed from the placements.
+    sram = defaultdict(int)
+    tcam = defaultdict(int)
+    slots = defaultdict(int)
+    for table, placement in placements.items():
+        footprint = footprints[table]
+        for stage in placement.stages():
+            slots[stage] += 1
+        for stage, blocks in placement.match_blocks_by_stage:
+            if footprint.is_ternary:
+                tcam[stage] += blocks
+            else:
+                sram[stage] += blocks
+        for register, stage in placement.register_stage:
+            register_blocks = dict(
+                footprint.register_blocks(TARGET)
+            )[register]
+            sram[stage] += register_blocks
+            assert placement.first_stage <= stage <= placement.last_stage
+    for stage, used in sram.items():
+        assert used <= TARGET.sram_blocks_per_stage, f"stage {stage} SRAM"
+    for stage, used in tcam.items():
+        assert used <= TARGET.tcam_blocks_per_stage, f"stage {stage} TCAM"
+    for stage, used in slots.items():
+        assert used <= TARGET.max_tables_per_stage, f"stage {stage} slots"
+
+    # (4) Full match memory accounted for.
+    for table, placement in placements.items():
+        footprint = footprints[table]
+        placed = sum(b for _s, b in placement.match_blocks_by_stage)
+        assert placed == footprint.match_blocks(TARGET)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_programs())
+def test_allocation_deterministic(program):
+    first = compile_program(program, TARGET)
+    second = compile_program(program.clone(), TARGET)
+    assert first.stage_map() == second.stage_map()
+    assert first.stages_used == second.stages_used
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_programs())
+def test_instrumentation_never_increases_stages(program):
+    """§3.1's claim, as a universal property over random programs."""
+    from repro.core.instrument import instrument
+
+    before = compile_program(program, TARGET).stages_used
+    after = compile_program(instrument(program).program, TARGET).stages_used
+    assert after <= before

@@ -1,0 +1,89 @@
+"""Tests for the comparison baselines (static compiler, P5-style)."""
+
+import pytest
+
+from repro.baselines import (
+    Policy,
+    compile_static,
+    deactivate_feature_blocks,
+    optimize_with_policy,
+)
+from repro.exceptions import OptimizationError
+from repro.programs import example_firewall, failure_detection, nat_gre
+
+
+class TestStatic:
+    def test_static_matches_compiler(self, firewall_program):
+        result = compile_static(firewall_program, example_firewall.TARGET)
+        assert result.stages == 8
+        assert result.fits
+
+
+class TestP5Policy:
+    def test_unused_feature_block_removed(self, firewall_program):
+        """With a policy declaring the DNS feature unused, P5 removes the
+        whole block — its coarse-grained best case."""
+        policy = Policy(
+            unused_features={
+                "dns_rate_limit": (
+                    "Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop",
+                )
+            }
+        )
+        result = optimize_with_policy(
+            firewall_program, policy, example_firewall.TARGET
+        )
+        assert result.stages_before == 8
+        assert result.stages_after == 4
+        assert set(result.removed_tables) == {
+            "Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop",
+        }
+
+    def test_partially_used_block_kept(self, firewall_program):
+        """P5's granularity limit: naming only Sketch_1 removes nothing
+        (the block also applies other tables)."""
+        policy = Policy(unused_features={"partial": ("Sketch_1",)})
+        result = optimize_with_policy(
+            firewall_program, policy, example_firewall.TARGET
+        )
+        assert result.stages_after == result.stages_before
+        assert result.removed_tables == ()
+
+    def test_empty_policy_changes_nothing(self, firewall_program):
+        result = optimize_with_policy(
+            firewall_program, Policy(), example_firewall.TARGET
+        )
+        assert result.stages_after == result.stages_before
+
+    def test_unknown_table_in_policy_rejected(self, firewall_program):
+        policy = Policy(unused_features={"x": ("ghost",)})
+        with pytest.raises(OptimizationError):
+            deactivate_feature_blocks(firewall_program, policy)
+
+    def test_p5_cannot_remove_nat_gre_dependency(self):
+        """§2.2 / Table 3: both NAT and GRE are needed, so no policy can
+        name either unused — P5 cannot shorten this pipeline while P2GO
+        saves a stage."""
+        program = nat_gre.build_program()
+        result = optimize_with_policy(program, Policy(), nat_gre.TARGET)
+        assert result.stages_after == 4  # unchanged
+
+    def test_p5_cannot_offload_used_code(self):
+        """§2.2: the failure-detection CMS *is* used (rarely), so a
+        truthful policy keeps it; P5 saves nothing where P2GO frees two
+        stages."""
+        program = failure_detection.build_program()
+        result = optimize_with_policy(
+            program, Policy(), failure_detection.TARGET
+        )
+        assert result.stages_after == 4
+
+    def test_deactivated_program_validates(self, firewall_program):
+        policy = Policy(
+            unused_features={
+                "dns": ("Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop")
+            }
+        )
+        reduced = deactivate_feature_blocks(firewall_program, policy)
+        reduced.validate()
+        assert "Sketch_1" not in reduced.tables

@@ -1,0 +1,93 @@
+"""The compiler's answers on the four evaluation programs.
+
+These are the "before" columns of the paper's Tables 2 and 3 — the stage
+counts everything downstream is measured against.
+"""
+
+import pytest
+
+from repro.programs import (
+    example_firewall,
+    failure_detection,
+    nat_gre,
+    sourceguard,
+)
+from repro.target import compile_program
+
+
+class TestExampleFirewall:
+    """Ex. 1 / Table 2 row 1: 8 stages, FIB spanning two."""
+
+    @pytest.fixture(scope="class")
+    def result(self, firewall_program):
+        return compile_program(firewall_program, example_firewall.TARGET)
+
+    def test_eight_stages(self, result):
+        assert result.stages_used == 8
+
+    def test_fits_target(self, result):
+        assert result.fits
+
+    def test_fib_spans_first_two_stages(self, result):
+        stage_map = result.stage_map()
+        assert stage_map[0] == ["IPv4"]
+        assert stage_map[1] == ["IPv4"]
+
+    def test_table_order_matches_paper(self, result):
+        stage_map = result.stage_map()
+        order = [tables[0] for tables in stage_map[1:]]
+        assert order == [
+            "IPv4", "ACL_UDP", "ACL_DHCP",
+            "Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop",
+        ]
+
+    def test_sketch_rows_in_separate_stages(self, result):
+        """§2.1: the two arrays' cumulative size exceeds one stage."""
+        placements = result.allocation.placements
+        assert (
+            placements["Sketch_1"].first_stage
+            != placements["Sketch_2"].first_stage
+        )
+
+    def test_summary_renders(self, result):
+        text = result.summary()
+        assert "stages used: 8" in text
+        assert "fits" in text
+
+
+class TestNatGre:
+    def test_four_stages(self):
+        result = compile_program(nat_gre.build_program(), nat_gre.TARGET)
+        assert result.stages_used == 4
+
+
+class TestSourceguard:
+    def test_five_stages(self):
+        result = compile_program(
+            sourceguard.build_program(), sourceguard.TARGET
+        )
+        assert result.stages_used == 5
+
+    def test_bloom_arrays_fill_own_stages(self):
+        result = compile_program(
+            sourceguard.build_program(), sourceguard.TARGET
+        )
+        placements = result.allocation.placements
+        assert (
+            placements["sg_bf1"].first_stage
+            != placements["sg_bf2"].first_stage
+        )
+
+
+class TestFailureDetection:
+    def test_four_stages(self):
+        result = compile_program(
+            failure_detection.build_program(), failure_detection.TARGET
+        )
+        assert result.stages_used == 4
+
+    def test_alarm_last(self):
+        result = compile_program(
+            failure_detection.build_program(), failure_detection.TARGET
+        )
+        assert result.stage_map()[3] == ["FailureAlarm"]

@@ -1,0 +1,144 @@
+"""Tests for the software controller and end-to-end offload equivalence."""
+
+import pytest
+
+from repro.controller import (
+    OffloadController,
+    compare_behavior,
+    compare_with_offload,
+    segment_program,
+)
+from repro.core.phase_offload import (
+    enumerate_candidates,
+    make_offloaded_program,
+)
+from repro.programs import example_firewall, failure_detection
+
+
+def dns_candidate(program):
+    return next(
+        c
+        for c in enumerate_candidates(program)
+        if set(c.tables) == {"Sketch_1", "Sketch_2", "Sketch_Min",
+                             "DNS_Drop"}
+    )
+
+
+class TestSegmentProgram:
+    def test_segment_keeps_parser_and_registers(self, firewall_program):
+        candidate = dns_candidate(firewall_program)
+        seg = segment_program(firewall_program, candidate.subtree)
+        assert seg.parser is not None
+        assert "dns_cms_row0" in seg.registers
+        assert set(seg.tables_in_control_order()) == set(candidate.tables)
+
+    def test_segment_validates(self, firewall_program):
+        candidate = dns_candidate(firewall_program)
+        segment_program(firewall_program, candidate.subtree).validate()
+
+
+class TestOffloadControllerFirewall:
+    def test_controller_reproduces_dns_drops(
+        self, firewall_program, firewall_config, firewall_trace
+    ):
+        """Phase-4 contract, end to end: switch+controller == original."""
+        candidate = dns_candidate(firewall_program)
+        optimized = make_offloaded_program(firewall_program, candidate)
+        remaining = [
+            t for t in optimized.tables if t not in candidate.tables
+        ]
+        report = compare_with_offload(
+            firewall_program,
+            firewall_config,
+            optimized,
+            firewall_config.restricted_to(remaining),
+            candidate,
+            firewall_trace,
+        )
+        assert report.equivalent
+        assert report.redirected > 0
+
+    def test_controller_stats(self, firewall_program, firewall_config):
+        from repro.packets.craft import dns_query
+
+        candidate = dns_candidate(firewall_program)
+        controller = OffloadController(
+            firewall_program, candidate, firewall_config
+        )
+        heavy_src = example_firewall.HEAVY_DNS_SRC
+        heavy_dst = example_firewall.HEAVY_DNS_DST
+        for i in range(200):
+            controller.handle_packet(dns_query(heavy_src, heavy_dst, i))
+        assert controller.stats.packets_processed == 200
+        # Queries 128..200 exceed the threshold and are dropped.
+        assert controller.stats.packets_dropped == 200 - 127
+
+    def test_controller_reset(self, firewall_program, firewall_config):
+        from repro.packets.craft import dns_query
+
+        candidate = dns_candidate(firewall_program)
+        controller = OffloadController(
+            firewall_program, candidate, firewall_config
+        )
+        controller.handle_packet(dns_query("10.0.0.1", "10.0.0.2"))
+        controller.reset()
+        assert controller.stats.packets_processed == 0
+        snapshot = controller.register_snapshot()
+        assert all(
+            all(v == 0 for v in cells) for cells in snapshot.values()
+        )
+
+
+class TestOffloadControllerFailureDetection:
+    def test_alarm_notifications_counted(self):
+        program = failure_detection.build_program()
+        config = failure_detection.runtime_config()
+        trace = failure_detection.make_trace(2000)
+        candidate = next(
+            c
+            for c in enumerate_candidates(program)
+            if set(c.tables) == {"cms_0", "cms_1", "FailureAlarm"}
+        )
+        optimized = make_offloaded_program(program, candidate)
+        remaining = [
+            t for t in optimized.tables if t not in candidate.tables
+        ]
+        report = compare_with_offload(
+            program,
+            config,
+            optimized,
+            config.restricted_to(remaining),
+            candidate,
+            trace,
+        )
+        assert report.equivalent
+        # Redirected = the retransmission share, a few percent.
+        assert 0 < report.redirected < len(trace) * 0.08
+
+
+class TestCompareBehavior:
+    def test_identical_programs_equivalent(
+        self, firewall_program, firewall_config, firewall_trace
+    ):
+        report = compare_behavior(
+            firewall_program,
+            firewall_config,
+            firewall_program,
+            firewall_config,
+            firewall_trace[:500],
+        )
+        assert report.equivalent
+        assert report.total == 500
+
+    def test_detects_divergence(self, firewall_program, firewall_config,
+                                firewall_trace):
+        loose = firewall_config.clone()
+        loose.entries["ACL_UDP"] = []  # remove the UDP ACL rules
+        report = compare_behavior(
+            firewall_program,
+            firewall_config,
+            firewall_program,
+            loose,
+            firewall_trace[:500],
+        )
+        assert not report.equivalent

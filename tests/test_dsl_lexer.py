@@ -1,0 +1,78 @@
+"""Unit tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.exceptions import DslSyntaxError
+from repro.p4.dsl.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_identifiers_and_punctuation(self):
+        assert texts("table t { }") == ["table", "t", "{", "}"]
+
+    def test_eof_terminates(self):
+        assert kinds("")[-1] is TokenKind.EOF
+
+    def test_decimal_numbers(self):
+        tokens = tokenize("size : 1024 ;")
+        assert tokens[2].kind is TokenKind.NUMBER
+        assert int(tokens[2].text, 0) == 1024
+
+    def test_hex_numbers(self):
+        tokens = tokenize("0x800")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert int(tokens[0].text, 0) == 0x800
+
+    def test_dotted_field(self):
+        assert texts("ipv4.dstAddr") == ["ipv4", ".", "dstAddr"]
+
+    def test_underscored_identifiers(self):
+        assert texts("_private name_2") == ["_private", "name_2"]
+
+
+class TestOperators:
+    def test_multi_char_operators(self):
+        tokens = tokenize("a >= b == c != d <= e")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert ops == [">=", "==", "!=", "<="]
+
+    def test_single_char_operators(self):
+        tokens = tokenize("a < b > c + d - e & f | g ^ h")
+        ops = [t.text for t in tokens if t.kind is TokenKind.OP]
+        assert ops == ["<", ">", "+", "-", "&", "|", "^"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_comment_at_eof(self):
+        assert texts("a // trailing") == ["a"]
+
+    def test_newlines_tracked(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError) as err:
+            tokenize("table @")
+        assert err.value.line == 1
+
+    def test_error_reports_position(self):
+        with pytest.raises(DslSyntaxError) as err:
+            tokenize("ok\n  $bad")
+        assert err.value.line == 2
+        assert err.value.column == 3

@@ -1,0 +1,214 @@
+"""Unit tests for the DSL parser (source → IR)."""
+
+import pytest
+
+from repro.exceptions import DslSyntaxError
+from repro.p4.dsl import parse_program
+from repro.p4.expressions import BinOp, Const, FieldRef, LAnd, LNot, ValidExpr
+from repro.p4.control import Apply, If, Seq
+from repro.p4.tables import MatchKind
+
+MINIMAL = """
+header_type h_t { fields { f : 16; g : 8; } }
+header h_t h;
+parser start { extract(h); return accept; }
+"""
+
+
+class TestDeclarations:
+    def test_header_type_and_instance(self):
+        program = parse_program(MINIMAL, "p")
+        assert program.header_types["h_t"].field_width("f") == 16
+        assert not program.headers["h"].metadata
+
+    def test_metadata_instance(self):
+        program = parse_program(
+            MINIMAL + "metadata h_t m;\n", "p"
+        )
+        assert program.headers["m"].metadata
+
+    def test_register(self):
+        src = MINIMAL + "register r { width : 32; instance_count : 128; }"
+        program = parse_program(src, "p")
+        assert program.registers["r"].width == 32
+        assert program.registers["r"].size == 128
+
+    def test_action_with_params(self):
+        src = MINIMAL + """
+action set_f(v) { modify_field(h.f, v); }
+"""
+        program = parse_program(src, "p")
+        action = program.actions["set_f"]
+        assert action.parameters == ("v",)
+        assert len(action.primitives) == 1
+
+    def test_all_primitives_parse(self):
+        src = MINIMAL + """
+register r { width : 8; instance_count : 16; }
+metadata h_t m;
+action everything() {
+    modify_field(m.f, 1);
+    add_to_field(m.f, 2);
+    subtract_from_field(m.f, 1);
+    drop();
+    no_op();
+    set_egress_port(3);
+    send_to_controller(7);
+    register_read(m.g, r, 0);
+    register_write(r, 0, m.g);
+    hash(m.f, crc32_a, {h.f, h.g}, size(r));
+    min(m.f, m.f, m.g);
+}
+"""
+        program = parse_program(src, "p")
+        assert len(program.actions["everything"].primitives) == 11
+
+    def test_table_clauses(self):
+        src = MINIMAL + """
+action nop2() { no_op(); }
+table t {
+    reads { h.f : exact; h.g : lpm; }
+    actions { nop2; }
+    default_action : nop2;
+    size : 99;
+}
+"""
+        program = parse_program(src, "p")
+        table = program.tables["t"]
+        assert table.size == 99
+        assert table.keys[0].kind is MatchKind.EXACT
+        assert table.keys[1].kind is MatchKind.LPM
+        assert table.default_action == "nop2"
+
+    def test_default_action_args(self):
+        src = MINIMAL + """
+action set_f(v) { modify_field(h.f, v); }
+table t {
+    reads { h.f : exact; }
+    actions { set_f; }
+    default_action : set_f(42);
+}
+"""
+        program = parse_program(src, "p")
+        assert program.tables["t"].default_action_args == (42,)
+
+    def test_parser_select(self):
+        src = """
+header_type e_t { fields { ty : 16; } }
+header_type i_t { fields { p : 8; } }
+header e_t eth;
+header i_t ip;
+parser start {
+    extract(eth);
+    return select(eth.ty) { 0x800 : parse_ip; default : accept; }
+}
+parser parse_ip { extract(ip); return accept; }
+"""
+        program = parse_program(src, "p")
+        assert program.parser.start == "start"
+        state = program.parser.states["start"]
+        assert state.transitions == {0x800: "parse_ip"}
+
+
+class TestControl:
+    def test_apply_and_if(self):
+        src = MINIMAL + """
+action d() { drop(); }
+table t { reads { h.f : exact; } actions { d; } }
+control ingress {
+    if (valid(h)) { apply(t); }
+}
+"""
+        program = parse_program(src, "p")
+        node = program.ingress
+        assert isinstance(node, If)
+        assert node.condition == ValidExpr("h")
+        assert isinstance(node.then_node, Apply)
+
+    def test_if_else(self):
+        src = MINIMAL + """
+action d() { drop(); }
+table t1 { reads { h.f : exact; } actions { d; } }
+table t2 { reads { h.g : exact; } actions { d; } }
+control ingress {
+    if (h.f == 1) { apply(t1); } else { apply(t2); }
+}
+"""
+        program = parse_program(src, "p")
+        assert program.ingress.else_node is not None
+
+    def test_hit_miss_blocks(self):
+        src = MINIMAL + """
+action d() { drop(); }
+table t1 { reads { h.f : exact; } actions { d; } }
+table t2 { reads { h.g : exact; } actions { d; } }
+control ingress {
+    apply(t1) {
+        miss {
+            apply(t2);
+        }
+    }
+}
+"""
+        program = parse_program(src, "p")
+        node = program.ingress
+        assert isinstance(node, Apply)
+        assert node.on_miss is not None
+        assert node.on_hit is None
+
+    def test_expression_precedence(self):
+        src = MINIMAL + """
+action d() { drop(); }
+table t { reads { h.f : exact; } actions { d; } }
+control ingress {
+    if (valid(h) and not h.f >= 128) { apply(t); }
+}
+"""
+        program = parse_program(src, "p")
+        cond = program.ingress.condition
+        assert isinstance(cond, LAnd)
+        assert isinstance(cond.right, LNot)
+        assert isinstance(cond.right.operand, BinOp)
+
+
+class TestErrors:
+    def test_unknown_declaration(self):
+        with pytest.raises(DslSyntaxError):
+            parse_program("frobnicate x;", "p")
+
+    def test_unknown_primitive(self):
+        with pytest.raises(DslSyntaxError):
+            parse_program(
+                MINIMAL + "action a() { explode(); }", "p"
+            )
+
+    def test_unknown_match_kind(self):
+        with pytest.raises(DslSyntaxError):
+            parse_program(
+                MINIMAL + "table t { reads { h.f : fuzzy; } }", "p"
+            )
+
+    def test_unknown_table_clause(self):
+        with pytest.raises(DslSyntaxError):
+            parse_program(
+                MINIMAL + "table t { wombats { } }", "p"
+            )
+
+    def test_missing_semicolon(self):
+        with pytest.raises(DslSyntaxError):
+            parse_program(
+                MINIMAL + "register r { width : 8 instance_count : 4; }",
+                "p",
+            )
+
+    def test_unknown_control_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_program(MINIMAL + "control sideways { }", "p")
+
+    def test_semantic_validation_still_runs(self):
+        from repro.exceptions import P4ValidationError
+
+        with pytest.raises(P4ValidationError):
+            parse_program(
+                MINIMAL + "control ingress { apply(ghost); }", "p"
+            )

@@ -1,0 +1,117 @@
+"""Direct unit tests for the DSL pretty-printer's leaf functions."""
+
+import pytest
+
+from repro.p4 import (
+    AddHeader,
+    AddToField,
+    BinOp,
+    Const,
+    Drop,
+    FieldRef,
+    HashFields,
+    LAnd,
+    LNot,
+    LOr,
+    MinOf,
+    ModifyField,
+    NoOp,
+    ParamRef,
+    RegisterRead,
+    RegisterSize,
+    RegisterWrite,
+    RemoveHeader,
+    SendToController,
+    SetEgressPort,
+    SubtractFromField,
+    ValidExpr,
+)
+from repro.p4.dsl.printer import print_expr, print_primitive
+
+F = FieldRef("h", "f")
+G = FieldRef("h", "g")
+
+
+class TestPrintExpr:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (F, "h.f"),
+            (Const(42), "42"),
+            (ParamRef("port"), "port"),
+            (RegisterSize("reg"), "size(reg)"),
+            (ValidExpr("udp"), "valid(udp)"),
+            (BinOp(">=", F, Const(128)), "(h.f >= 128)"),
+            (LNot(ValidExpr("udp")), "not valid(udp)"),
+            (LAnd(ValidExpr("a"), ValidExpr("b")),
+             "(valid(a) and valid(b))"),
+            (LOr(ValidExpr("a"), ValidExpr("b")),
+             "(valid(a) or valid(b))"),
+            (
+                BinOp("&", F, BinOp("+", G, Const(1))),
+                "(h.f & (h.g + 1))",
+            ),
+        ],
+    )
+    def test_rendering(self, expr, expected):
+        assert print_expr(expr) == expected
+
+
+class TestPrintPrimitive:
+    @pytest.mark.parametrize(
+        "prim,expected",
+        [
+            (ModifyField(F, Const(1)), "modify_field(h.f, 1);"),
+            (AddToField(F, G), "add_to_field(h.f, h.g);"),
+            (SubtractFromField(F, Const(2)),
+             "subtract_from_field(h.f, 2);"),
+            (Drop(), "drop();"),
+            (NoOp(), "no_op();"),
+            (SetEgressPort(ParamRef("p")), "set_egress_port(p);"),
+            (SendToController(7), "send_to_controller(7);"),
+            (RegisterRead(F, "reg", Const(0)),
+             "register_read(h.f, reg, 0);"),
+            (RegisterWrite("reg", Const(0), F),
+             "register_write(reg, 0, h.f);"),
+            (
+                HashFields(F, "crc32_a", (F, G), RegisterSize("reg")),
+                "hash(h.f, crc32_a, {h.f, h.g}, size(reg));",
+            ),
+            (MinOf(F, F, G), "min(h.f, h.f, h.g);"),
+            (AddHeader("x"), "add_header(x);"),
+            (RemoveHeader("x"), "remove_header(x);"),
+        ],
+    )
+    def test_rendering(self, prim, expected):
+        assert print_primitive(prim) == expected
+
+    def test_every_rendering_reparses(self):
+        """Each printed primitive parses back to an equal primitive."""
+        from repro.p4.dsl import parse_program
+
+        prims = [
+            ModifyField(F, Const(1)),
+            AddToField(F, G),
+            SubtractFromField(F, Const(2)),
+            Drop(),
+            NoOp(),
+            SetEgressPort(Const(3)),
+            SendToController(7),
+            RegisterRead(F, "reg", Const(0)),
+            RegisterWrite("reg", Const(0), F),
+            HashFields(F, "crc32_a", (F, G), RegisterSize("reg")),
+            MinOf(F, F, G),
+        ]
+        body = "\n    ".join(print_primitive(p) for p in prims)
+        source = f"""
+header_type h_t {{ fields {{ f : 8; g : 16; }} }}
+header h_t h;
+register reg {{ width : 8; instance_count : 4; }}
+action everything() {{
+    {body}
+}}
+"""
+        program = parse_program(source, "p")
+        assert tuple(program.actions["everything"].primitives) == tuple(
+            prims
+        )

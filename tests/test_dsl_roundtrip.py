@@ -1,0 +1,147 @@
+"""Round-trip tests: parse(print(program)) preserves the program.
+
+P2GO hands optimized source back to the programmer (§2.2), so the printer
+must emit everything the parser reads — verified on all four evaluation
+programs, on every phase's rewritten output, and property-tested on
+generated control trees.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.p4.control import Apply, If, Seq, control_equal, normalize
+from repro.p4.dsl import parse_program, print_program
+from repro.p4.expressions import (
+    BinOp,
+    Const,
+    FieldRef,
+    LAnd,
+    LNot,
+    LOr,
+    ValidExpr,
+)
+from repro.programs import (
+    example_firewall,
+    failure_detection,
+    nat_gre,
+    sourceguard,
+)
+
+
+def assert_round_trips(program):
+    source = print_program(program)
+    parsed = parse_program(source, program.name)
+    assert parsed.header_types == program.header_types
+    assert parsed.headers == program.headers
+    assert parsed.registers == program.registers
+    assert parsed.actions == program.actions
+    assert parsed.tables == program.tables
+    assert parsed.parser == program.parser
+    assert control_equal(
+        normalize(parsed.ingress), normalize(program.ingress)
+    )
+
+
+PROGRAMS = {
+    "example_firewall": example_firewall.build_program,
+    "nat_gre": nat_gre.build_program,
+    "sourceguard": sourceguard.build_program,
+    "failure_detection": failure_detection.build_program,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_example_programs_round_trip(name):
+    assert_round_trips(PROGRAMS[name]())
+
+
+def test_optimized_program_round_trips(firewall_result):
+    """The fully optimized Ex. 1 (with To_Ctl and miss-branch rewrites)
+    still renders and parses."""
+    assert_round_trips(firewall_result.optimized_program)
+
+
+def test_instrumented_program_round_trips(firewall_program):
+    from repro.core.instrument import instrument
+
+    assert_round_trips(instrument(firewall_program).program)
+
+
+# ----------------------------------------------------------------------
+# Property tests over generated control trees
+
+
+TABLES = ("t0", "t1", "t2", "t3", "t4", "t5")
+
+conditions = st.sampled_from(
+    [
+        ValidExpr("h"),
+        LNot(ValidExpr("h")),
+        BinOp(">=", FieldRef("h", "f"), Const(128)),
+        BinOp("==", FieldRef("h", "g"), Const(5)),
+        LAnd(ValidExpr("h"), BinOp("<", FieldRef("h", "f"), Const(9))),
+        LOr(ValidExpr("h"), BinOp("!=", FieldRef("h", "g"), Const(0))),
+    ]
+)
+
+
+@st.composite
+def control_trees(draw):
+    """A random control tree applying a subset of TABLES (each once)."""
+    tables = list(draw(st.permutations(TABLES)))
+
+    def build(depth):
+        if not tables:
+            return None
+        choice = draw(
+            st.sampled_from(
+                ["apply", "if", "seq"] if depth < 3 else ["apply"]
+            )
+        )
+        if choice == "apply":
+            table = tables.pop()
+            use_miss = draw(st.booleans()) and depth < 3
+            on_miss = build(depth + 1) if use_miss else None
+            return Apply(table, on_miss=on_miss)
+        if choice == "if":
+            cond = draw(conditions)
+            then_node = build(depth + 1)
+            if then_node is None:
+                return None
+            use_else = draw(st.booleans())
+            else_node = build(depth + 1) if use_else else None
+            return If(cond, then_node, else_node)
+        children = []
+        for _ in range(draw(st.integers(1, 3))):
+            child = build(depth + 1)
+            if child is not None:
+                children.append(child)
+        if not children:
+            return None
+        return Seq(children)
+
+    root = build(0)
+    return root if root is not None else Seq([])
+
+
+@settings(max_examples=60, deadline=None)
+@given(control_trees())
+def test_generated_control_trees_round_trip(tree):
+    from repro.p4 import ProgramBuilder
+    from repro.p4.control import tables_applied
+
+    b = ProgramBuilder("generated")
+    b.header_type("h_t", [("f", 16), ("g", 8)])
+    b.header("h", "h_t")
+    b.parser_state("start", extracts=["h"])
+    b.action("d", [])
+    for table in TABLES:
+        b.table(table, keys=[("h.f", "exact")], actions=["d"])
+    b.ingress(tree)
+    program = b.build()
+    source = print_program(program)
+    parsed = parse_program(source, "generated")
+    assert control_equal(
+        normalize(parsed.ingress), normalize(program.ingress)
+    )
+    assert tables_applied(parsed.ingress) == tables_applied(program.ingress)

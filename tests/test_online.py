@@ -1,0 +1,138 @@
+"""Tests for §6's online profiler."""
+
+import pytest
+
+from repro.core.online import AlertKind, OnlineProfiler
+from repro.packets.craft import dhcp_packet, udp_packet
+from repro.programs import example_firewall as fw
+from repro.traffic.generators import dns_stream
+
+
+@pytest.fixture
+def online(firewall_program, firewall_config, firewall_profile):
+    return OnlineProfiler(
+        firewall_program,
+        firewall_config,
+        baseline=firewall_profile,
+        window=500,
+        hit_rate_tolerance=0.15,
+    )
+
+
+class TestBasics:
+    def test_forwards_packets(self, online):
+        result = online.process(
+            udp_packet("10.0.0.1", "192.168.1.1", 1234, 9999)
+        )
+        assert not result.dropped
+        assert online.packets_seen == 1
+
+    def test_window_hit_rate(self, online):
+        for _ in range(10):
+            online.process(udp_packet("10.0.0.1", "192.168.1.1", 1, 137))
+        assert online.window_hit_rate("ACL_UDP") == 1.0
+        assert online.window_hit_rate("IPv4") == 1.0
+        assert online.window_hit_rate("DNS_Drop") == 0.0
+
+    def test_window_evicts_old_packets(
+        self, firewall_program, firewall_config
+    ):
+        online = OnlineProfiler(
+            firewall_program, firewall_config, window=5
+        )
+        for _ in range(5):
+            online.process(udp_packet("10.0.0.1", "192.168.1.1", 1, 137))
+        for _ in range(5):
+            online.process(udp_packet("10.0.0.1", "192.168.1.1", 1, 9999))
+        assert online.window_hit_rate("ACL_UDP") == 0.0
+
+    def test_invalid_window_rejected(self, firewall_program,
+                                     firewall_config):
+        with pytest.raises(ValueError):
+            OnlineProfiler(firewall_program, firewall_config, window=0)
+
+    def test_snapshot_covers_all_tables(self, online):
+        online.process(udp_packet("10.0.0.1", "192.168.1.1", 1, 9999))
+        snap = online.snapshot()
+        assert set(snap) == set(online.program.tables)
+
+
+class TestAlerts:
+    def test_no_alerts_on_profiled_traffic(self, online, firewall_trace):
+        for entry in firewall_trace[:800]:
+            data, port = (
+                entry if isinstance(entry, tuple) else (entry, 0)
+            )
+            online.process(data, port)
+        assert online.alerts == []
+
+    def test_new_combination_alert(
+        self, firewall_program, firewall_config, firewall_profile
+    ):
+        """A packet firing both ACL drops — the removed dependency
+        manifesting live — raises an alert immediately."""
+        config = firewall_config.clone()
+        config.add_entry("ACL_UDP", [68], "acl_udp_drop")
+        online = OnlineProfiler(
+            firewall_program, config, baseline=firewall_profile,
+            window=100,
+        )
+        online.process(
+            dhcp_packet("172.16.0.1"),
+            ingress_port=fw.UNTRUSTED_INGRESS_PORTS[0],
+        )
+        kinds = {a.kind for a in online.alerts}
+        assert AlertKind.NEW_ACTION_COMBINATION in kinds
+        alert = next(
+            a for a in online.alerts
+            if a.kind is AlertKind.NEW_ACTION_COMBINATION
+        )
+        assert "ACL_UDP" in alert.subject
+        assert "ACL_DHCP" in alert.subject
+
+    def test_hit_rate_drift_alert(self, online):
+        """A DNS flood pushes the sketch tables' windowed hit rate far
+        above baseline once the window fills."""
+        for pkt in dns_stream(fw.HEAVY_DNS_SRC, fw.HEAVY_DNS_DST, 600):
+            online.process(pkt)
+        drifted = {
+            a.subject for a in online.alerts
+            if a.kind is AlertKind.HIT_RATE_DRIFT
+        }
+        assert "Sketch_1" in drifted
+
+    def test_alert_fires_once_per_episode(self, online):
+        for pkt in dns_stream(fw.HEAVY_DNS_SRC, fw.HEAVY_DNS_DST, 700):
+            online.process(pkt)
+        sketch_alerts = [
+            a for a in online.alerts
+            if a.kind is AlertKind.HIT_RATE_DRIFT
+            and a.subject == "Sketch_1"
+        ]
+        assert len(sketch_alerts) == 1
+
+    def test_alert_callback_invoked(
+        self, firewall_program, firewall_config, firewall_profile
+    ):
+        received = []
+        config = firewall_config.clone()
+        config.add_entry("ACL_UDP", [68], "acl_udp_drop")
+        online = OnlineProfiler(
+            firewall_program,
+            config,
+            baseline=firewall_profile,
+            alert_callback=received.append,
+        )
+        online.process(
+            dhcp_packet("172.16.0.1"),
+            ingress_port=fw.UNTRUSTED_INGRESS_PORTS[0],
+        )
+        assert received
+        assert received[0].kind is AlertKind.NEW_ACTION_COMBINATION
+
+    def test_no_baseline_no_alerts(self, firewall_program,
+                                   firewall_config):
+        online = OnlineProfiler(firewall_program, firewall_config)
+        for pkt in dns_stream(fw.HEAVY_DNS_SRC, fw.HEAVY_DNS_DST, 100):
+            online.process(pkt)
+        assert online.alerts == []

@@ -1,0 +1,161 @@
+"""Unit tests for repro.p4.actions: primitives and compound actions."""
+
+import pytest
+
+from repro.exceptions import P4SemanticsError
+from repro.p4.actions import (
+    Action,
+    AddHeader,
+    AddToField,
+    CONTROLLER_REASON,
+    DROP_FLAG,
+    Drop,
+    EGRESS_PORT,
+    HashFields,
+    MinOf,
+    ModifyField,
+    NoOp,
+    RegisterRead,
+    RegisterWrite,
+    RemoveHeader,
+    SendToController,
+    SetEgressPort,
+    SubtractFromField,
+    TO_CONTROLLER,
+)
+from repro.p4.expressions import Const, FieldRef, ParamRef, RegisterSize
+
+DST = FieldRef("m", "x")
+SRC = FieldRef("h", "y")
+
+
+class TestModifyField:
+    def test_reads_and_writes(self):
+        prim = ModifyField(DST, SRC)
+        assert prim.writes() == {DST}
+        assert prim.reads() == {SRC}
+
+    def test_const_source_reads_nothing(self):
+        assert ModifyField(DST, Const(1)).reads() == frozenset()
+
+    def test_param_source(self):
+        assert ModifyField(DST, ParamRef("p")).params() == {"p"}
+
+
+class TestArithmeticPrimitives:
+    def test_add_reads_own_destination(self):
+        prim = AddToField(DST, Const(1))
+        assert DST in prim.reads()
+        assert prim.writes() == {DST}
+
+    def test_subtract_reads_own_destination(self):
+        prim = SubtractFromField(DST, SRC)
+        assert prim.reads() == {DST, SRC}
+
+
+class TestDrop:
+    def test_writes_egress_and_flag(self):
+        """Drop writes the egress port — this is the root of the paper's
+        ACL/ACL action dependency (§2.1)."""
+        writes = Drop().writes()
+        assert EGRESS_PORT in writes
+        assert DROP_FLAG in writes
+
+
+class TestSendToController:
+    def test_writes_controller_fields(self):
+        writes = SendToController(3).writes()
+        assert TO_CONTROLLER in writes
+        assert CONTROLLER_REASON in writes
+        assert EGRESS_PORT in writes
+
+
+class TestRegisterPrimitives:
+    def test_read_touches_register(self):
+        prim = RegisterRead(DST, "reg", Const(0))
+        assert prim.registers_read() == {"reg"}
+        assert prim.writes() == {DST}
+
+    def test_write_touches_register(self):
+        prim = RegisterWrite("reg", Const(0), SRC)
+        assert prim.registers_written() == {"reg"}
+        assert SRC in prim.reads()
+
+    def test_register_size_index_counts_as_register_read(self):
+        prim = RegisterRead(DST, "reg", RegisterSize("other"))
+        assert prim.registers_read() == {"reg", "other"}
+
+
+class TestHashFields:
+    def test_requires_inputs(self):
+        with pytest.raises(P4SemanticsError):
+            HashFields(DST, "crc32", (), Const(16))
+
+    def test_reads_inputs(self):
+        prim = HashFields(DST, "crc32", (SRC,), RegisterSize("reg"))
+        assert SRC in prim.reads()
+        assert prim.registers_read() == {"reg"}
+
+
+class TestMinOf:
+    def test_reads_both_operands(self):
+        prim = MinOf(DST, SRC, FieldRef("m", "z"))
+        assert prim.reads() == {SRC, FieldRef("m", "z")}
+        assert prim.writes() == {DST}
+
+
+class TestHeaderPrimitives:
+    def test_add_header(self):
+        assert AddHeader("gre").headers_added() == {"gre"}
+
+    def test_remove_header(self):
+        assert RemoveHeader("gre").headers_removed() == {"gre"}
+
+
+class TestAction:
+    def test_aggregates_primitives(self):
+        action = Action(
+            name="a",
+            primitives=(ModifyField(DST, SRC), RegisterWrite("r", Const(0), Const(1))),
+        )
+        assert action.writes() == {DST}
+        assert action.reads() == {SRC}
+        assert action.registers_written() == {"r"}
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(P4SemanticsError):
+            Action(name="a", parameters=("p", "p"))
+
+    def test_undeclared_parameter_rejected(self):
+        with pytest.raises(P4SemanticsError):
+            Action(
+                name="a",
+                parameters=(),
+                primitives=(ModifyField(DST, ParamRef("ghost")),),
+            )
+
+    def test_declared_parameter_accepted(self):
+        action = Action(
+            name="a",
+            parameters=("port",),
+            primitives=(SetEgressPort(ParamRef("port")),),
+        )
+        assert action.params_referenced() == {"port"}
+
+    def test_with_extra_primitives_appends_and_renames(self):
+        base = Action(name="a", primitives=(NoOp(),))
+        extended = base.with_extra_primitives(
+            [ModifyField(DST, Const(1))], new_name="a2"
+        )
+        assert extended.name == "a2"
+        assert len(extended.primitives) == 2
+        assert isinstance(extended.primitives[0], NoOp)
+        # The original is untouched.
+        assert len(base.primitives) == 1
+
+    def test_headers_added_removed(self):
+        action = Action(
+            name="a", primitives=(AddHeader("x"), RemoveHeader("y"))
+        )
+        assert action.headers_added() == {"x"}
+        assert action.headers_removed() == {"y"}

@@ -1,0 +1,104 @@
+"""Unit tests for the fluent ProgramBuilder."""
+
+import pytest
+
+from repro.exceptions import P4ValidationError
+from repro.p4 import Apply, MatchKind, ProgramBuilder, Seq
+
+
+def minimal_builder():
+    b = ProgramBuilder("p")
+    b.header_type("h_t", [("f", 8), ("g", 16)])
+    b.header("h", "h_t")
+    return b
+
+
+class TestDeclarations:
+    def test_duplicate_header_type_rejected(self):
+        b = minimal_builder()
+        with pytest.raises(P4ValidationError):
+            b.header_type("h_t", [("x", 8)])
+
+    def test_duplicate_header_rejected(self):
+        b = minimal_builder()
+        with pytest.raises(P4ValidationError):
+            b.header("h", "h_t")
+
+    def test_duplicate_register_rejected(self):
+        b = minimal_builder().register("r", 8, 4)
+        with pytest.raises(P4ValidationError):
+            b.register("r", 8, 4)
+
+    def test_duplicate_action_rejected(self):
+        b = minimal_builder().action("a", [])
+        with pytest.raises(P4ValidationError):
+            b.action("a", [])
+
+    def test_duplicate_table_rejected(self):
+        b = minimal_builder().table("t")
+        with pytest.raises(P4ValidationError):
+            b.table("t")
+
+    def test_duplicate_parser_state_rejected(self):
+        b = minimal_builder().parser_state("start", extracts=["h"])
+        with pytest.raises(P4ValidationError):
+            b.parser_state("start")
+
+    def test_metadata_shorthand(self):
+        b = minimal_builder().metadata("m", [("count", 32)])
+        program = b.build()
+        assert program.headers["m"].metadata
+        assert program.header_types["m_t"].field_width("count") == 32
+
+
+class TestTableKeys:
+    def test_string_field_and_kind(self):
+        b = minimal_builder().table("t", keys=[("h.f", "exact")])
+        program = b.build()
+        key = program.tables["t"].keys[0]
+        assert key.kind is MatchKind.EXACT
+        assert key.field.path == "h.f"
+
+    def test_matchkind_enum_accepted(self):
+        b = minimal_builder().table("t", keys=[("h.f", MatchKind.LPM)])
+        assert b.build().tables["t"].keys[0].kind is MatchKind.LPM
+
+    def test_unknown_match_kind_rejected(self):
+        b = minimal_builder()
+        with pytest.raises(P4ValidationError):
+            b.table("t", keys=[("h.f", "fuzzy")])
+
+
+class TestParser:
+    def test_first_state_becomes_start(self):
+        b = minimal_builder()
+        b.parser_state("entry", extracts=["h"])
+        program = b.build()
+        assert program.parser.start == "entry"
+
+    def test_parser_start_override(self):
+        b = minimal_builder()
+        b.parser_state("other")
+        b.parser_state("entry", extracts=["h"])
+        b.parser_start("entry")
+        assert b.build().parser.start == "entry"
+
+    def test_no_parser_when_no_states(self):
+        assert minimal_builder().build().parser is None
+
+
+class TestBuild:
+    def test_build_validates(self):
+        b = minimal_builder()
+        b.ingress(Apply("ghost"))
+        with pytest.raises(P4ValidationError):
+            b.build()
+
+    def test_default_empty_ingress(self):
+        program = minimal_builder().build()
+        assert isinstance(program.ingress, Seq)
+        assert program.ingress.nodes == ()
+
+    def test_chaining_returns_builder(self):
+        b = ProgramBuilder("p")
+        assert b.header_type("x_t", [("f", 8)]).header("x", "x_t") is b

@@ -1,0 +1,89 @@
+"""Unit tests for tables and register arrays."""
+
+import pytest
+
+from repro.exceptions import P4SemanticsError
+from repro.p4.expressions import FieldRef
+from repro.p4.registers import RegisterArray
+from repro.p4.tables import MatchKind, Table, TableKey
+
+
+class TestMatchKind:
+    def test_exact_is_sram(self):
+        assert not MatchKind.EXACT.needs_tcam
+
+    def test_lpm_and_ternary_need_tcam(self):
+        assert MatchKind.LPM.needs_tcam
+        assert MatchKind.TERNARY.needs_tcam
+
+
+class TestTable:
+    def _table(self, **kwargs):
+        defaults = dict(
+            name="t",
+            keys=(TableKey(FieldRef("h", "f"), MatchKind.EXACT),),
+            actions=("a",),
+            size=16,
+        )
+        defaults.update(kwargs)
+        return Table(**defaults)
+
+    def test_positive_size_required(self):
+        with pytest.raises(P4SemanticsError):
+            self._table(size=0)
+
+    def test_duplicate_actions_rejected(self):
+        with pytest.raises(P4SemanticsError):
+            self._table(actions=("a", "a"))
+
+    def test_is_ternary(self):
+        lpm = self._table(
+            keys=(TableKey(FieldRef("h", "f"), MatchKind.LPM),)
+        )
+        assert lpm.is_ternary
+        assert not self._table().is_ternary
+
+    def test_keyless_table_is_not_ternary(self):
+        assert not self._table(keys=()).is_ternary
+
+    def test_resized_preserves_everything_else(self):
+        t = self._table()
+        r = t.resized(99)
+        assert r.size == 99
+        assert r.keys == t.keys
+        assert r.actions == t.actions
+        assert t.size == 16  # original untouched
+
+    def test_all_action_names_appends_default(self):
+        t = self._table(actions=("a", "b"), default_action="c")
+        assert t.all_action_names() == ("a", "b", "c")
+
+    def test_all_action_names_no_duplicate_default(self):
+        t = self._table(actions=("a", "b"), default_action="b")
+        assert t.all_action_names() == ("a", "b")
+
+    def test_match_fields(self):
+        t = self._table()
+        assert t.match_fields == (FieldRef("h", "f"),)
+
+
+class TestRegisterArray:
+    def test_memory_bytes_byte_aligned_cells(self):
+        assert RegisterArray("r", width=32, size=100).memory_bytes == 400
+        assert RegisterArray("r", width=1, size=100).memory_bytes == 100
+        assert RegisterArray("r", width=9, size=10).memory_bytes == 20
+
+    def test_positive_width_required(self):
+        with pytest.raises(P4SemanticsError):
+            RegisterArray("r", width=0, size=10)
+
+    def test_positive_size_required(self):
+        with pytest.raises(P4SemanticsError):
+            RegisterArray("r", width=8, size=0)
+
+    def test_resized(self):
+        r = RegisterArray("r", width=8, size=100)
+        s = r.resized(50)
+        assert s.size == 50
+        assert s.width == 8
+        assert r.size == 100

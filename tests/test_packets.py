@@ -1,0 +1,163 @@
+"""Unit + property tests for packet packing and crafting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import PacketError
+from repro.packets import headers as hdr
+from repro.packets.craft import (
+    dhcp_packet,
+    dns_query,
+    gre_packet,
+    plain_ipv4_packet,
+    tcp_packet,
+    udp_packet,
+)
+from repro.packets.packet import concat_headers, pack_fields, unpack_fields
+
+
+class TestAddressConversions:
+    def test_ip_round_trip(self):
+        assert hdr.int_to_ip(hdr.ip_to_int("192.168.1.7")) == "192.168.1.7"
+
+    def test_ip_to_int_value(self):
+        assert hdr.ip_to_int("10.0.0.1") == 0x0A000001
+
+    def test_bad_ip_rejected(self):
+        with pytest.raises(ValueError):
+            hdr.ip_to_int("10.0.0")
+        with pytest.raises(ValueError):
+            hdr.ip_to_int("10.0.0.999")
+
+    def test_int_to_ip_rejects_wide(self):
+        with pytest.raises(ValueError):
+            hdr.int_to_ip(1 << 32)
+
+    def test_mac_to_int(self):
+        assert hdr.mac_to_int("00:00:00:00:00:01") == 1
+        with pytest.raises(ValueError):
+            hdr.mac_to_int("00:01")
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_ip_round_trip_property(self, value):
+        assert hdr.ip_to_int(hdr.int_to_ip(value)) == value
+
+
+class TestPackUnpack:
+    def test_ethernet_byte_width(self):
+        assert hdr.ETHERNET.byte_width == 14
+        assert hdr.IPV4.byte_width == 20
+        assert hdr.UDP.byte_width == 8
+        assert hdr.TCP.byte_width == 20
+
+    def test_round_trip_ipv4(self):
+        values = {
+            "version": 4,
+            "ihl": 5,
+            "ttl": 64,
+            "protocol": 17,
+            "srcAddr": hdr.ip_to_int("10.0.0.1"),
+            "dstAddr": hdr.ip_to_int("10.0.0.2"),
+        }
+        data = pack_fields(hdr.IPV4, values)
+        assert len(data) == 20
+        out = unpack_fields(hdr.IPV4, data)
+        for key, value in values.items():
+            assert out[key] == value
+
+    def test_missing_fields_default_zero(self):
+        out = unpack_fields(hdr.UDP, pack_fields(hdr.UDP, {}))
+        assert all(v == 0 for v in out.values())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(PacketError):
+            pack_fields(hdr.UDP, {"ghost": 1})
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(PacketError):
+            pack_fields(hdr.UDP, {"srcPort": 1 << 16})
+
+    def test_unpack_short_buffer_rejected(self):
+        with pytest.raises(PacketError):
+            unpack_fields(hdr.IPV4, b"\x00" * 10)
+
+    @given(
+        st.fixed_dictionaries(
+            {
+                "srcPort": st.integers(0, 0xFFFF),
+                "dstPort": st.integers(0, 0xFFFF),
+                "length": st.integers(0, 0xFFFF),
+                "checksum": st.integers(0, 0xFFFF),
+            }
+        )
+    )
+    def test_udp_round_trip_property(self, values):
+        assert unpack_fields(hdr.UDP, pack_fields(hdr.UDP, values)) == values
+
+    def test_sub_byte_fields_pack_msb_first(self):
+        data = pack_fields(hdr.IPV4, {"version": 4, "ihl": 5})
+        assert data[0] == 0x45  # the classic IPv4 first byte
+
+    def test_concat_headers_appends_payload(self):
+        data = concat_headers([(hdr.UDP, {"srcPort": 1})], b"xyz")
+        assert data.endswith(b"xyz")
+        assert len(data) == 8 + 3
+
+
+class TestCrafting:
+    def test_udp_packet_structure(self):
+        pkt = udp_packet("10.0.0.1", "10.0.0.2", 1234, 53, b"hi")
+        assert len(pkt) == 14 + 20 + 8 + 2
+        eth = unpack_fields(hdr.ETHERNET, pkt)
+        assert eth["etherType"] == hdr.ETHERTYPE_IPV4
+        ip = unpack_fields(hdr.IPV4, pkt[14:])
+        assert ip["protocol"] == hdr.IPPROTO_UDP
+        udp = unpack_fields(hdr.UDP, pkt[34:])
+        assert udp["dstPort"] == 53
+
+    def test_dns_query_has_dns_prefix(self):
+        pkt = dns_query("10.0.0.1", "8.8.8.8", query_id=77)
+        dns = unpack_fields(hdr.DNS, pkt[42:])
+        assert dns["id"] == 77
+        assert dns["qdcount"] == 1
+
+    def test_dhcp_server_ports(self):
+        pkt = dhcp_packet("172.16.0.1")
+        udp = unpack_fields(hdr.UDP, pkt[34:])
+        assert udp["srcPort"] == hdr.UDP_PORT_DHCP_SERVER
+        assert udp["dstPort"] == hdr.UDP_PORT_DHCP_CLIENT
+
+    def test_dhcp_client_ports(self):
+        pkt = dhcp_packet("10.0.0.5", from_server=False)
+        udp = unpack_fields(hdr.UDP, pkt[34:])
+        assert udp["srcPort"] == hdr.UDP_PORT_DHCP_CLIENT
+        assert udp["dstPort"] == hdr.UDP_PORT_DHCP_SERVER
+
+    def test_tcp_packet_flags_and_seq(self):
+        pkt = tcp_packet("10.0.0.1", "10.0.0.2", 1000, 443, seq=42,
+                         flags=hdr.TCP_FLAG_SYN)
+        tcp = unpack_fields(hdr.TCP, pkt[34:])
+        assert tcp["seqNo"] == 42
+        assert tcp["flags"] == hdr.TCP_FLAG_SYN
+
+    def test_gre_packet_protocol(self):
+        pkt = gre_packet("1.1.1.1", "2.2.2.2")
+        ip = unpack_fields(hdr.IPV4, pkt[14:])
+        assert ip["protocol"] == hdr.IPPROTO_GRE
+        gre = unpack_fields(hdr.GRE, pkt[34:])
+        assert gre["protocol"] == hdr.ETHERTYPE_IPV4
+
+    def test_gre_packet_with_inner(self):
+        pkt = gre_packet("1.1.1.1", "2.2.2.2", inner_src="10.0.0.1",
+                         inner_dst="10.0.0.2")
+        inner = unpack_fields(hdr.IPV4, pkt[38:])
+        assert inner["dstAddr"] == hdr.ip_to_int("10.0.0.2")
+
+    def test_gre_packet_inner_requires_both(self):
+        with pytest.raises(PacketError):
+            gre_packet("1.1.1.1", "2.2.2.2", inner_src="10.0.0.1")
+
+    def test_plain_ipv4_protocol(self):
+        pkt = plain_ipv4_packet("1.2.3.4", "5.6.7.8", protocol=6)
+        ip = unpack_fields(hdr.IPV4, pkt[14:])
+        assert ip["protocol"] == 6

@@ -1,0 +1,106 @@
+"""Unit tests for classic pcap file I/O."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import PcapError
+from repro.packets.craft import udp_packet
+from repro.packets.pcap import (
+    PCAP_MAGIC,
+    PcapRecord,
+    read_packet_bytes,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip(self, tmp_path):
+        packets = [
+            udp_packet("10.0.0.1", "10.0.0.2", 1, 2),
+            udp_packet("10.0.0.3", "10.0.0.4", 3, 4, b"payload"),
+            b"\x00" * 60,
+        ]
+        path = tmp_path / "t.pcap"
+        write_pcap(path, packets)
+        assert read_packet_bytes(path) == packets
+
+    def test_records_round_trip_with_timestamps(self, tmp_path):
+        records = [
+            PcapRecord(ts_sec=100, ts_usec=5, data=b"abc"),
+            PcapRecord(ts_sec=101, ts_usec=0, data=b"defgh"),
+        ]
+        path = tmp_path / "t.pcap"
+        write_pcap(path, records)
+        assert read_pcap(path) == records
+
+    def test_synthetic_timestamps_preserve_order(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, [b"a", b"b", b"c"])
+        records = read_pcap(path)
+        usecs = [r.ts_usec for r in records]
+        assert usecs == sorted(usecs)
+
+    def test_empty_file_round_trip(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        write_pcap(path, [])
+        assert read_pcap(path) == []
+
+    @given(st.lists(st.binary(min_size=0, max_size=200), max_size=20))
+    def test_round_trip_property(self, packets):
+        import os
+        import tempfile
+
+        fd, path = tempfile.mkstemp(suffix=".pcap")
+        os.close(fd)
+        try:
+            write_pcap(path, packets)
+            assert read_packet_bytes(path) == packets
+        finally:
+            os.unlink(path)
+
+
+class TestMalformedFiles:
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", 0xDEADBEEF, 2, 4, 0, 0, 0, 1))
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_swapped_endianness_reported(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(
+            struct.pack("<IHHiIII", 0xD4C3B2A1, 2, 4, 0, 0, 0, 1)
+        )
+        with pytest.raises(PcapError, match="big-endian"):
+            read_pcap(path)
+
+    def test_unsupported_version(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(struct.pack("<IHHiIII", PCAP_MAGIC, 9, 9, 0, 0, 0, 1))
+        with pytest.raises(PcapError, match="version"):
+            read_pcap(path)
+
+    def test_truncated_record_header(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        write_pcap(path, [b"abc"])
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])  # cut into the record payload
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_incl_len_beyond_orig_len(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        header = struct.pack("<IHHiIII", PCAP_MAGIC, 2, 4, 0, 0, 65535, 1)
+        record = struct.pack("<IIII", 0, 0, 10, 5) + b"0123456789"
+        path.write_bytes(header + record)
+        with pytest.raises(PcapError, match="incl_len"):
+            read_pcap(path)

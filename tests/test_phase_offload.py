@@ -1,0 +1,269 @@
+"""Tests for phase 4 — offloading code to the controller (§3.4)."""
+
+import pytest
+
+from repro.core.phase_offload import (
+    DEFAULT_MAX_REDIRECT,
+    TO_CTL_TABLE,
+    EvaluatedCandidate,
+    SegmentCandidate,
+    enumerate_candidates,
+    evaluate_candidates,
+    is_self_contained,
+    make_offloaded_program,
+    run_phase,
+    select_candidate,
+    select_combination,
+)
+from repro.core.profiler import Profiler
+from repro.exceptions import OffloadError
+from repro.p4 import (
+    Apply,
+    BinOp,
+    Const,
+    FieldRef,
+    If,
+    ModifyField,
+    ProgramBuilder,
+    Seq,
+    ValidExpr,
+    iter_nodes,
+)
+from repro.programs import example_firewall, failure_detection
+from repro.target import compile_program
+
+
+def find_subtree(program, table_set):
+    """The smallest subtree applying exactly the given tables."""
+    from repro.p4.control import tables_applied
+
+    best = None
+    for node in iter_nodes(program.ingress):
+        if set(tables_applied(node)) == table_set:
+            best = node  # keep descending: later matches are smaller
+    return best
+
+
+class TestSelfContainment:
+    def test_dns_branch_self_contained(self, firewall_program):
+        subtree = find_subtree(
+            firewall_program,
+            {"Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop"},
+        )
+        # The If(valid(dns)) node also matches; take the outermost.
+        for node in iter_nodes(firewall_program.ingress):
+            from repro.p4.control import tables_applied
+
+            if set(tables_applied(node)) == {
+                "Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop",
+            }:
+                assert is_self_contained(firewall_program, node)
+                break
+
+    def test_sketch_row_alone_not_self_contained(self, firewall_program):
+        """Sketch_1 writes metadata Sketch_Min consumes — not
+        offloadable alone."""
+        subtree = find_subtree(firewall_program, {"Sketch_1"})
+        assert not is_self_contained(firewall_program, subtree)
+
+    def test_sketch_min_not_self_contained(self, firewall_program):
+        """Sketch_Min reads the rows' metadata — needs outside state."""
+        subtree = find_subtree(firewall_program, {"Sketch_Min"})
+        assert not is_self_contained(firewall_program, subtree)
+
+    def test_consumer_of_outside_metadata_rejected(self):
+        b = ProgramBuilder("p")
+        b.header_type("h_t", [("f", 16)]).header("h", "h_t")
+        b.parser_state("start", extracts=["h"])
+        b.metadata("m", [("x", 16)])
+        b.action("produce", [ModifyField(FieldRef("m", "x"), Const(1))])
+        b.action("consume", [ModifyField(FieldRef("m", "x"), FieldRef("m", "x"))])
+        b.table("prod", keys=[], actions=[], default_action="produce")
+        b.table("cons", keys=[("m.x", "exact")], actions=["consume"])
+        b.ingress(Seq([Apply("prod"), Apply("cons")]))
+        program = b.build()
+        subtree = find_subtree(program, {"cons"})
+        assert not is_self_contained(program, subtree)
+
+    def test_ingress_port_read_allowed(self, firewall_program):
+        """ACL_DHCP keys on the ingress port — that arrives with the
+        punted packet and does not block offloading."""
+        subtree = find_subtree(firewall_program, {"ACL_DHCP"})
+        assert is_self_contained(firewall_program, subtree)
+
+
+class TestEnumeration:
+    def test_firewall_candidates(self, firewall_program):
+        candidates = enumerate_candidates(firewall_program)
+        table_sets = {frozenset(c.tables) for c in candidates}
+        assert frozenset(
+            {"Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop"}
+        ) in table_sets
+        assert frozenset({"Sketch_1"}) not in table_sets
+
+    def test_whole_program_excluded(self, firewall_program):
+        candidates = enumerate_candidates(firewall_program)
+        all_tables = frozenset(firewall_program.tables)
+        assert all(frozenset(c.tables) != all_tables for c in candidates)
+
+    def test_boundary_guard_recorded(self, firewall_program):
+        candidates = enumerate_candidates(firewall_program)
+        dns = next(
+            c for c in candidates
+            if set(c.tables) == {"Sketch_1", "Sketch_2", "Sketch_Min",
+                                 "DNS_Drop"}
+        )
+        assert dns.boundary_guard == "valid(dns)"
+
+
+class TestProgramGeneration:
+    def test_to_ctl_replaces_segment(self, firewall_program):
+        candidates = enumerate_candidates(firewall_program)
+        dns = next(
+            c for c in candidates
+            if set(c.tables) == {"Sketch_1", "Sketch_2", "Sketch_Min",
+                                 "DNS_Drop"}
+        )
+        modified = make_offloaded_program(firewall_program, dns)
+        tables = modified.tables_in_control_order()
+        assert TO_CTL_TABLE in tables
+        assert "Sketch_1" not in tables
+        # The valid(dns) guard stays in the data plane.
+        guards = [
+            str(n.condition)
+            for n in iter_nodes(modified.ingress)
+            if isinstance(n, If)
+        ]
+        assert "valid(dns)" in guards
+
+    def test_reoffload_gets_unique_redirect_name(self, firewall_program):
+        """Re-running P2GO on an already-offloaded program must not
+        collide on the redirect table's name (§3.2's re-run workflow)."""
+        candidates = enumerate_candidates(firewall_program)
+        dns = next(c for c in candidates if "Sketch_1" in c.tables)
+        modified = make_offloaded_program(firewall_program, dns)
+        remaining = enumerate_candidates(modified)
+        assert remaining, "expected further candidates after offloading"
+        second = make_offloaded_program(modified, remaining[0])
+        assert "To_Ctl_2" in second.tables
+
+    def test_explicit_duplicate_name_rejected(self, firewall_program):
+        candidates = enumerate_candidates(firewall_program)
+        dns = next(c for c in candidates if "Sketch_1" in c.tables)
+        with pytest.raises(OffloadError):
+            make_offloaded_program(
+                firewall_program, dns, table_name="IPv4"
+            )
+
+
+class TestSelection:
+    def _ev(self, tables, saved, redirect):
+        return EvaluatedCandidate(
+            candidate=SegmentCandidate(
+                subtree=Seq([]), tables=tuple(tables), boundary_guard=None
+            ),
+            program=None,
+            stages_before=8,
+            stages_after=8 - saved,
+            redirect_fraction=redirect,
+        )
+
+    def test_least_redirect_wins(self):
+        chosen = select_candidate(
+            [self._ev(["a"], 1, 0.05), self._ev(["b"], 2, 0.02)]
+        )
+        assert chosen.candidate.tables == ("b",)
+
+    def test_savings_threshold_filters(self):
+        chosen = select_candidate(
+            [self._ev(["a"], 0, 0.01), self._ev(["b"], 1, 0.05)]
+        )
+        assert chosen.candidate.tables == ("b",)
+
+    def test_load_budget_filters(self):
+        chosen = select_candidate(
+            [self._ev(["a"], 3, 0.90), self._ev(["b"], 1, 0.05)]
+        )
+        assert chosen.candidate.tables == ("b",)
+
+    def test_nothing_qualifies(self):
+        assert select_candidate([self._ev(["a"], 0, 0.9)]) is None
+
+    def test_tie_broken_by_more_savings(self):
+        chosen = select_candidate(
+            [self._ev(["a"], 1, 0.02), self._ev(["b"], 3, 0.02)]
+        )
+        assert chosen.candidate.tables == ("b",)
+
+
+class TestCombination:
+    def _ev(self, tables, saved, redirect):
+        return EvaluatedCandidate(
+            candidate=SegmentCandidate(
+                subtree=Seq([]), tables=tuple(tables), boundary_guard=None
+            ),
+            program=None,
+            stages_before=8,
+            stages_after=8 - saved,
+            redirect_fraction=redirect,
+        )
+
+    def test_combines_disjoint_segments(self):
+        chosen = select_combination(
+            [
+                self._ev(["a"], 1, 0.01),
+                self._ev(["b"], 1, 0.02),
+                self._ev(["c"], 2, 0.08),
+            ],
+            min_stage_savings=2,
+        )
+        tables = {t for e in chosen for t in e.candidate.tables}
+        assert tables == {"a", "b"}  # 0.03 beats 0.08
+
+    def test_overlapping_segments_never_combined(self):
+        chosen = select_combination(
+            [
+                self._ev(["a", "b"], 1, 0.01),
+                self._ev(["b", "c"], 1, 0.01),
+            ],
+            min_stage_savings=2,
+        )
+        assert chosen == []
+
+    def test_respects_load_budget(self):
+        chosen = select_combination(
+            [self._ev(["a"], 1, 0.08), self._ev(["b"], 1, 0.08)],
+            min_stage_savings=2,
+            max_redirect_fraction=0.10,
+        )
+        assert chosen == []
+
+    def test_empty_when_unreachable(self):
+        assert select_combination([], min_stage_savings=1) == []
+
+
+class TestRunPhaseOnFailureDetection:
+    def test_cms_segment_offloaded(self):
+        """Table 3 row 3: the CMS + alarm move to the controller, freeing
+        two stages (4 -> 2)."""
+        program = failure_detection.build_program()
+        config = failure_detection.runtime_config()
+        trace = failure_detection.make_trace(2000)
+        outcome = run_phase(
+            program, config, trace, failure_detection.TARGET
+        )
+        assert outcome.offloaded is not None
+        assert set(outcome.offloaded.candidate.tables) == {
+            "cms_0", "cms_1", "FailureAlarm",
+        }
+        assert outcome.offloaded.stages_saved == 2
+        assert outcome.offloaded.redirect_fraction < 0.05
+
+    def test_offloaded_config_drops_segment_entries(self):
+        program = failure_detection.build_program()
+        config = failure_detection.runtime_config()
+        trace = failure_detection.make_trace(1000)
+        outcome = run_phase(
+            program, config, trace, failure_detection.TARGET
+        )
+        assert outcome.config.entry_count("FailureAlarm") == 0

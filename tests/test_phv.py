@@ -1,0 +1,55 @@
+"""Tests for PHV accounting (§6 multi-dimensional resources)."""
+
+import pytest
+
+from repro.target.phv import DEFAULT_PHV_BITS, compute_phv_usage, live_fields
+from repro.p4.expressions import FieldRef
+from tests.conftest import build_toy_program
+
+
+class TestLiveFields:
+    def test_keys_and_actions_counted(self, toy_program):
+        fields = live_fields(toy_program)
+        assert FieldRef("ipv4", "dstAddr") in fields  # fib key
+        assert FieldRef("udp", "dstPort") in fields  # acl key
+        # Drop writes intrinsic fields.
+        assert FieldRef("standard_metadata", "egress_port") in fields
+
+    def test_condition_reads_counted(self, firewall_program):
+        fields = live_fields(firewall_program)
+        assert FieldRef("dns_cms_meta", "count") in fields
+
+
+class TestUsage:
+    def test_toy_program_usage(self, toy_program):
+        usage = compute_phv_usage(toy_program)
+        # ipv4 (160) + udp (64) headers are live; ethernet is parse-only.
+        assert usage.header_bits == 160 + 64
+        assert usage.metadata_bits == 0
+        assert usage.standard_bits == 50  # the intrinsic header
+        assert usage.fits
+
+    def test_metadata_counts_live_fields_only(self, firewall_program):
+        usage = compute_phv_usage(firewall_program)
+        # All of dns_cms_meta's fields are live: 2x(idx 32 + count 32) +
+        # min 32 = 160 bits.
+        assert usage.metadata_bits == 160
+        assert usage.fits
+
+    def test_offloading_frees_phv(self, firewall_result):
+        """Stage optimization helps the PHV dimension too: the offloaded
+        sketch's metadata leaves the PHV."""
+        before = compute_phv_usage(firewall_result.original_program)
+        after = compute_phv_usage(firewall_result.optimized_program)
+        assert after.metadata_bits < before.metadata_bits
+        assert after.total_bits < before.total_bits
+
+    def test_budget_check(self, toy_program):
+        tight = compute_phv_usage(toy_program, budget_bits=100)
+        assert not tight.fits
+        assert tight.utilization > 1.0
+
+    def test_render(self, toy_program):
+        text = compute_phv_usage(toy_program).render()
+        assert "PHV:" in text
+        assert str(DEFAULT_PHV_BITS) in text

@@ -1,0 +1,140 @@
+"""Tests for phase 1 — profile construction (§3.1, Ex. 1 annotations,
+Table 1)."""
+
+import pytest
+
+from repro.core.profiler import Profiler, profile_program
+from repro.packets.craft import udp_packet
+from tests.conftest import TRACE_SIZE, build_toy_program, toy_config
+
+
+class TestToyProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        trace = [
+            udp_packet("1.1.1.1", "10.0.0.9", 5, 53),   # fib hit, acl hit
+            udp_packet("1.1.1.1", "10.0.0.9", 5, 80),   # fib hit, acl miss
+            udp_packet("1.1.1.1", "99.0.0.9", 5, 53),   # default route
+            udp_packet("1.1.1.1", "99.0.0.9", 5, 80),
+        ]
+        return profile_program(build_toy_program(), toy_config(), trace)
+
+    def test_totals(self, profile):
+        assert profile.total_packets == 4
+
+    def test_hit_rates(self, profile):
+        assert profile.hit_rate("fib") == 1.0
+        assert profile.hit_rate("acl") == 0.5
+
+    def test_apply_vs_hit(self, profile):
+        assert profile.apply_rate("acl") == 1.0
+
+    def test_action_counts(self, profile):
+        assert profile.action_counts[("acl", "deny")] == 2
+        assert profile.action_counts[("fib", "fwd")] == 4
+
+    def test_nonexclusive_sets_observed(self, profile):
+        assert any(
+            {("fib", "fwd"), ("acl", "deny")} <= group
+            for group in profile.nonexclusive_sets
+        )
+
+    def test_actions_coapplied(self, profile):
+        assert profile.actions_coapplied(("fib", "fwd"), ("acl", "deny"))
+
+    def test_action_coapplied_with_table(self, profile):
+        assert profile.action_coapplied_with_table(("fib", "fwd"), "acl")
+
+    def test_unknown_table_rates_are_zero(self, profile):
+        assert profile.hit_rate("ghost") == 0.0
+        assert profile.apply_rate("ghost") == 0.0
+
+
+class TestFirewallProfile:
+    """Ex. 1's annotated hit rates, §2.2 / Table 1."""
+
+    def test_ipv4_hit_rate_is_total(self, firewall_profile):
+        assert firewall_profile.hit_rate("IPv4") == 1.0
+
+    def test_acl_udp_hit_rate(self, firewall_profile):
+        assert firewall_profile.hit_rate("ACL_UDP") == pytest.approx(
+            0.08, abs=0.005
+        )
+
+    def test_acl_dhcp_hit_rate(self, firewall_profile):
+        assert firewall_profile.hit_rate("ACL_DHCP") == pytest.approx(
+            0.14, abs=0.005
+        )
+
+    def test_sketch_rates_low(self, firewall_profile):
+        for table in ("Sketch_1", "Sketch_2", "Sketch_Min"):
+            assert 0 < firewall_profile.hit_rate(table) < 0.06
+
+    def test_dns_drop_rarest(self, firewall_profile):
+        dd = firewall_profile.hit_rate("DNS_Drop")
+        assert 0 < dd < firewall_profile.hit_rate("Sketch_1")
+
+    def test_sketch_tables_identical_rates(self, firewall_profile):
+        assert firewall_profile.hit_counts["Sketch_1"] == (
+            firewall_profile.hit_counts["Sketch_2"]
+        )
+
+    def test_table1_sets_present(self, firewall_profile):
+        """The paper's Table 1, by table membership of hit-action sets."""
+        table_sets = {
+            frozenset(pair[0] for pair in group)
+            for group in firewall_profile.hit_action_sets()
+        }
+        assert frozenset({"IPv4", "ACL_UDP"}) in table_sets
+        assert frozenset({"IPv4", "ACL_DHCP"}) in table_sets
+        assert (
+            frozenset({"IPv4", "Sketch_1", "Sketch_2", "Sketch_Min"})
+            in table_sets
+        )
+        assert (
+            frozenset(
+                {"IPv4", "Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop"}
+            )
+            in table_sets
+        )
+
+    def test_acl_actions_never_coapplied(self, firewall_profile):
+        """The paper's key phase-2 observation: the two ACL drop actions
+        never fire on the same packet."""
+        assert not firewall_profile.actions_coapplied(
+            ("ACL_UDP", "acl_udp_drop"), ("ACL_DHCP", "acl_dhcp_drop")
+        )
+
+    def test_ipv4_and_acl_udp_do_coapply(self, firewall_profile):
+        assert firewall_profile.actions_coapplied(
+            ("IPv4", "ipv4_forward"), ("ACL_UDP", "acl_udp_drop")
+        )
+
+    def test_decisions_recorded_per_packet(self, firewall_profile):
+        assert len(firewall_profile.decisions) == TRACE_SIZE
+
+
+class TestProfileComparison:
+    def test_profile_equals_itself_across_runs(
+        self, firewall_program, firewall_config, firewall_trace
+    ):
+        """Profiling is deterministic: two runs produce identical
+        profiles (the foundation of §3.3's verification)."""
+        p1 = Profiler(firewall_program, firewall_config).profile(
+            firewall_trace
+        )
+        p2 = Profiler(firewall_program, firewall_config).profile(
+            firewall_trace
+        )
+        assert p1.same_behavior_as(p2)
+        assert p1.behavior_diff(p2) == []
+
+    def test_behavior_diff_reports_hit_changes(self):
+        trace_a = [udp_packet("1.1.1.1", "10.0.0.9", 5, 53)]
+        trace_b = [udp_packet("1.1.1.1", "10.0.0.9", 5, 80)]
+        program, config = build_toy_program(), toy_config()
+        pa = profile_program(program, config, trace_a)
+        pb = profile_program(program, config, trace_b)
+        assert not pa.same_behavior_as(pb)
+        reasons = pa.behavior_diff(pb)
+        assert any("acl" in r for r in reasons)

@@ -1,0 +1,59 @@
+"""The checked-in DSL sources in examples/programs/ stay in sync with the
+builder-constructed programs (they are what a user would feed the CLI)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.p4.control import control_equal, normalize
+from repro.p4.dsl import parse_program
+from repro.programs import (
+    enterprise,
+    example_firewall,
+    failure_detection,
+    nat_gre,
+    sourceguard,
+    telemetry,
+)
+
+SOURCES = Path(__file__).parent.parent / "examples" / "programs"
+
+MODULES = {
+    "example_firewall": example_firewall,
+    "nat_gre": nat_gre,
+    "sourceguard": sourceguard,
+    "failure_detection": failure_detection,
+    "telemetry": telemetry,
+    "enterprise": enterprise,
+}
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_dsl_source_matches_builder(name):
+    source_path = SOURCES / f"{name}.p4"
+    assert source_path.exists(), f"missing {source_path}"
+    parsed = parse_program(source_path.read_text(), name)
+    built = MODULES[name].build_program()
+    assert parsed.header_types == built.header_types
+    assert parsed.headers == built.headers
+    assert parsed.registers == built.registers
+    assert parsed.actions == built.actions
+    assert parsed.tables == built.tables
+    assert parsed.parser == built.parser
+    assert control_equal(
+        normalize(parsed.ingress), normalize(built.ingress)
+    )
+
+
+@pytest.mark.parametrize("name", sorted(MODULES))
+def test_dsl_source_compiles_identically(name):
+    from repro.target import compile_program
+
+    source_path = SOURCES / f"{name}.p4"
+    parsed = parse_program(source_path.read_text(), name)
+    built = MODULES[name].build_program()
+    target = MODULES[name].TARGET
+    assert (
+        compile_program(parsed, target).stage_map()
+        == compile_program(built, target).stage_map()
+    )

@@ -1,0 +1,43 @@
+"""Tests for dot-source rendering of analysis artifacts."""
+
+import pytest
+
+from repro.analysis.render import dependency_graph_dot, stage_map_dot
+from repro.target import compile_program
+from repro.programs import example_firewall
+
+
+class TestDependencyGraphDot:
+    def test_firewall_graph_renders(self, firewall_program):
+        dot = dependency_graph_dot(firewall_program, title="Fig. 1")
+        assert dot.startswith("digraph dependencies {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="Fig. 1"' in dot
+
+    def test_tables_are_boxes_conditions_diamonds(self, firewall_program):
+        dot = dependency_graph_dot(firewall_program)
+        assert 'shape=box, label="Sketch_Min"' in dot
+        assert "shape=diamond" in dot
+        assert "dns_cms_meta.count >= 128" in dot
+
+    def test_edge_styles_match_figure(self, firewall_program):
+        dot = dependency_graph_dot(firewall_program)
+        assert "dashdotted" in dot  # action deps
+        assert "style=dashed" in dot  # match deps
+
+    def test_balanced_braces(self, firewall_program):
+        dot = dependency_graph_dot(firewall_program)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestStageMapDot:
+    def test_stage_map_renders(self, firewall_program):
+        result = compile_program(firewall_program, example_firewall.TARGET)
+        dot = stage_map_dot(result.stage_map(), title="initial")
+        assert dot.count("[shape=record") <= 1  # set once on node attr
+        assert "stage 1|IPv4" in dot
+        assert "s0 -> s1" in dot
+
+    def test_empty_stage_rendered_as_dash(self):
+        dot = stage_map_dot([["a"], []])
+        assert "stage 2|-" in dot

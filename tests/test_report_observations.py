@@ -1,0 +1,62 @@
+"""Tests for observations and report rendering."""
+
+import pytest
+
+from repro.core.observations import (
+    Observation,
+    ObservationKind,
+    ObservationLog,
+    Phase,
+)
+from repro.core.report import render_report, stage_table, summary_line
+
+
+class TestObservationLog:
+    def _obs(self, phase=Phase.PROFILING, kind=ObservationKind.NOTE,
+             title="t"):
+        return Observation(phase=phase, kind=kind, title=title, details="d")
+
+    def test_append_and_query(self):
+        log = ObservationLog()
+        log.add(self._obs())
+        log.add(self._obs(phase=Phase.REDUCE_MEMORY,
+                          kind=ObservationKind.OPTIMIZATION))
+        assert len(log.items) == 2
+        assert len(log.by_phase(Phase.REDUCE_MEMORY)) == 1
+        assert len(log.optimizations()) == 1
+
+    def test_render_includes_evidence(self):
+        obs = Observation(
+            phase=Phase.REMOVE_DEPENDENCIES,
+            kind=ObservationKind.OPTIMIZATION,
+            title="removed dependency A -> B",
+            details="apply B only if A misses",
+            evidence={"kind": "action"},
+        )
+        text = obs.render()
+        assert "phase 2" in text
+        assert "OPTIMIZATION" in text
+        assert "kind: action" in text
+
+
+class TestReportRendering:
+    def test_stage_table_matches_paper_shape(self, firewall_result):
+        text = stage_table(firewall_result)
+        assert "Initial Program   (8 stages)" in text
+        assert "Removing Deps.    (7 stages)" in text
+        assert "Reducing Memory   (6 stages)" in text
+        assert "Offloading Code   (3 stages)" in text
+        assert "ACL_DHCP+ACL_UDP" in text
+
+    def test_full_report_sections(self, firewall_result):
+        text = render_report(firewall_result)
+        assert "P2GO optimization report" in text
+        assert "stages: 8 -> 3" in text
+        assert "controller must now implement" in text
+        assert "Sketch_1" in text
+        assert "observations for review" in text
+
+    def test_summary_line(self, firewall_result):
+        line = summary_line(firewall_result)
+        assert "example_firewall" in line
+        assert "8 -> 7 -> 6 -> 3" in line

@@ -1,0 +1,94 @@
+"""Unit tests for table lookup semantics (exact, LPM, ternary)."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.p4.expressions import FieldRef
+from repro.p4.tables import MatchKind, Table, TableKey
+from repro.sim.match import lookup
+from repro.sim.runtime import TableEntry
+
+
+def make_table(kind, nkeys=1):
+    keys = tuple(
+        TableKey(FieldRef("h", f"f{i}"), kind) for i in range(nkeys)
+    )
+    return Table(name="t", keys=keys, actions=("a",))
+
+
+class TestExact:
+    def test_hit(self):
+        table = make_table(MatchKind.EXACT)
+        entries = [TableEntry((5,), "a"), TableEntry((7,), "a", (1,))]
+        entry = lookup(table, [16], [7], entries)
+        assert entry is not None and entry.action_args == (1,)
+
+    def test_miss(self):
+        table = make_table(MatchKind.EXACT)
+        assert lookup(table, [16], [9], [TableEntry((5,), "a")]) is None
+
+    def test_multi_key_all_must_match(self):
+        table = make_table(MatchKind.EXACT, nkeys=2)
+        entries = [TableEntry((1, 2), "a")]
+        assert lookup(table, [16, 16], [1, 2], entries) is not None
+        assert lookup(table, [16, 16], [1, 3], entries) is None
+
+    def test_key_arity_checked(self):
+        table = make_table(MatchKind.EXACT, nkeys=2)
+        with pytest.raises(SimulationError):
+            lookup(table, [16], [1], [])
+
+
+class TestLpm:
+    def test_longest_prefix_wins(self):
+        table = make_table(MatchKind.LPM)
+        entries = [
+            TableEntry(((0x0A000000, 8),), "a", (8,)),
+            TableEntry(((0x0A010000, 16),), "a", (16,)),
+            TableEntry(((0, 0),), "a", (0,)),
+        ]
+        entry = lookup(table, [32], [0x0A010203], entries)
+        assert entry.action_args == (16,)
+        entry = lookup(table, [32], [0x0A990203], entries)
+        assert entry.action_args == (8,)
+        entry = lookup(table, [32], [0xC0000001], entries)
+        assert entry.action_args == (0,)
+
+    def test_default_route_matches_everything(self):
+        table = make_table(MatchKind.LPM)
+        entries = [TableEntry(((0, 0),), "a")]
+        assert lookup(table, [32], [0xDEADBEEF], entries) is not None
+
+    def test_prefix_boundary(self):
+        table = make_table(MatchKind.LPM)
+        entries = [TableEntry(((0b10100000, 3),), "a")]
+        assert lookup(table, [8], [0b10111111], entries) is not None
+        assert lookup(table, [8], [0b11100000], entries) is None
+
+
+class TestTernary:
+    def test_mask_applies(self):
+        table = make_table(MatchKind.TERNARY)
+        entries = [TableEntry(((0x0A00, 0xFF00),), "a")]
+        assert lookup(table, [16], [0x0A55], entries) is not None
+        assert lookup(table, [16], [0x0B55], entries) is None
+
+    def test_priority_breaks_overlap(self):
+        table = make_table(MatchKind.TERNARY)
+        entries = [
+            TableEntry(((0, 0),), "a", (1,), priority=1),
+            TableEntry(((5, 0xFFFF),), "a", (2,), priority=10),
+        ]
+        assert lookup(table, [16], [5], entries).action_args == (2,)
+        assert lookup(table, [16], [6], entries).action_args == (1,)
+
+    def test_zero_mask_is_wildcard(self):
+        table = make_table(MatchKind.TERNARY)
+        entries = [TableEntry(((123, 0),), "a")]
+        assert lookup(table, [16], [999], entries) is not None
+
+
+class TestEmpty:
+    def test_no_entries_is_miss(self):
+        table = make_table(MatchKind.EXACT)
+        assert lookup(table, [16], [1], []) is None

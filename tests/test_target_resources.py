@@ -1,0 +1,130 @@
+"""Tests for memory accounting and the target model."""
+
+import pytest
+
+from repro.exceptions import CompilationError
+from repro.p4 import (
+    Apply,
+    Const,
+    ProgramBuilder,
+    RegisterWrite,
+    Seq,
+)
+from repro.programs import example_firewall
+from repro.programs.common import EXAMPLE_TARGET
+from repro.target.model import TargetModel
+from repro.target.resources import (
+    compute_footprints,
+    register_owner_map,
+    table_entry_bits,
+    table_match_bytes,
+    table_overhead_bytes,
+)
+
+
+class TestTargetModel:
+    def test_defaults_positive(self):
+        target = TargetModel()
+        assert target.sram_bytes_per_stage > 0
+        assert target.tcam_bytes_per_stage > 0
+
+    def test_bad_parameter_rejected(self):
+        with pytest.raises(CompilationError):
+            TargetModel(num_stages=0)
+
+    def test_blocks_for_rounds_up(self):
+        target = TargetModel(sram_block_bytes=256, tcam_block_bytes=64)
+        assert target.sram_blocks_for(1) == 1
+        assert target.sram_blocks_for(256) == 1
+        assert target.sram_blocks_for(257) == 2
+        assert target.tcam_blocks_for(65) == 2
+
+    def test_blocks_for_zero_is_one(self):
+        assert TargetModel().sram_blocks_for(0) == 1
+
+
+class TestEntryAccounting:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return example_firewall.build_program()
+
+    def test_exact_entry_bits(self, program):
+        # ACL_UDP: 16-bit key + no action data + 16 overhead.
+        table = program.tables["ACL_UDP"]
+        assert table_entry_bits(program, table) == 32
+
+    def test_lpm_entry_includes_action_data(self, program):
+        # IPv4: 32-bit key + 32-bit port param + 16 overhead.
+        table = program.tables["IPv4"]
+        assert table_entry_bits(program, table) == 80
+
+    def test_ternary_match_bytes_key_only(self, program):
+        table = program.tables["IPv4"]
+        assert table_match_bytes(program, table) == 4 * table.size
+
+    def test_ternary_overhead_bytes(self, program):
+        table = program.tables["IPv4"]
+        assert table_overhead_bytes(program, table) == 6 * table.size
+
+    def test_exact_overhead_is_zero(self, program):
+        table = program.tables["ACL_UDP"]
+        assert table_overhead_bytes(program, table) == 0
+
+    def test_keyless_table_no_match_memory(self, program):
+        # Instrumented init tables and To_Ctl tables are keyless.
+        from repro.p4.tables import Table
+
+        keyless = Table(name="k", keys=(), actions=(), size=1)
+        assert table_match_bytes(program, keyless) == 0
+
+
+class TestFootprints:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return example_firewall.build_program()
+
+    def test_sketch_row_owns_its_register(self, program):
+        footprints = compute_footprints(program)
+        s1 = footprints["Sketch_1"]
+        assert ("dns_cms_row0", 3840) in s1.registers
+        assert s1.register_blocks(EXAMPLE_TARGET) == [("dns_cms_row0", 15)]
+
+    def test_sketch_row_fills_a_stage(self, program):
+        footprints = compute_footprints(program)
+        s1 = footprints["Sketch_1"]
+        total = s1.total_sram_blocks(EXAMPLE_TARGET)
+        assert total == EXAMPLE_TARGET.sram_blocks_per_stage
+
+    def test_fib_spans_two_stages_of_tcam(self, program):
+        footprints = compute_footprints(program)
+        fib = footprints["IPv4"]
+        assert fib.is_ternary
+        blocks = fib.match_blocks(EXAMPLE_TARGET)
+        assert (
+            EXAMPLE_TARGET.tcam_blocks_per_stage
+            < blocks
+            <= 2 * EXAMPLE_TARGET.tcam_blocks_per_stage
+        )
+
+    def test_register_owner_map(self, program):
+        owners = register_owner_map(program)
+        assert owners["dns_cms_row0"] == "Sketch_1"
+        assert owners["dns_cms_row1"] == "Sketch_2"
+
+    def test_shared_register_rejected(self):
+        b = ProgramBuilder("p")
+        b.header_type("h_t", [("f", 8)]).header("h", "h_t")
+        b.register("reg", width=8, size=4)
+        b.action("w1", [RegisterWrite("reg", Const(0), Const(1))])
+        b.action("w2", [RegisterWrite("reg", Const(1), Const(1))])
+        b.table("ta", keys=[("h.f", "exact")], actions=["w1"])
+        b.table("tb", keys=[("h.f", "exact")], actions=["w2"])
+        b.ingress(Seq([Apply("ta"), Apply("tb")]))
+        with pytest.raises(CompilationError):
+            register_owner_map(b.build())
+
+    def test_unused_register_has_no_owner(self):
+        b = ProgramBuilder("p")
+        b.header_type("h_t", [("f", 8)]).header("h", "h_t")
+        b.register("reg", width=8, size=4)
+        assert register_owner_map(b.build()) == {}

@@ -1,0 +1,155 @@
+"""End-to-end tests of multi-segment offload (§3.4's DP) on the
+telemetry program."""
+
+import pytest
+
+from repro.core.phase_offload import (
+    enumerate_candidates,
+    evaluate_candidates,
+    make_combined_offloaded_program,
+    run_phase,
+    select_combination,
+)
+from repro.exceptions import OffloadError
+from repro.programs import telemetry
+from repro.target import compile_program
+
+
+@pytest.fixture(scope="module")
+def setup():
+    program = telemetry.build_program()
+    config = telemetry.runtime_config()
+    trace = telemetry.make_trace(3000)
+    return program, config, trace
+
+
+class TestTelemetryProgram:
+    def test_five_stages(self, setup):
+        program, _config, _trace = setup
+        assert compile_program(program, telemetry.TARGET).stages_used == 5
+
+    def test_feature_rates(self, setup):
+        program, config, trace = setup
+        from repro.core.profiler import Profiler
+
+        profile = Profiler(program, config).profile(trace)
+        assert profile.apply_rate("dns_hh") == pytest.approx(0.024, abs=0.003)
+        assert profile.apply_rate("ttl_probe") == pytest.approx(
+            0.01, abs=0.003
+        )
+        assert profile.apply_rate("syn_mon") == pytest.approx(
+            0.05, abs=0.005
+        )
+
+
+class TestCombination:
+    def test_no_single_candidate_saves_two(self, setup):
+        program, config, trace = setup
+        evaluated = evaluate_candidates(
+            program, config, trace, telemetry.TARGET,
+            enumerate_candidates(program),
+        )
+        affordable = [
+            e for e in evaluated if e.redirect_fraction <= 0.10
+        ]
+        assert all(e.stages_saved < 2 for e in affordable)
+
+    def test_dp_picks_cheapest_pair(self, setup):
+        program, config, trace = setup
+        evaluated = evaluate_candidates(
+            program, config, trace, telemetry.TARGET,
+            enumerate_candidates(program),
+        )
+        combo = select_combination(
+            evaluated, min_stage_savings=2, max_redirect_fraction=0.10
+        )
+        tables = {t for e in combo for t in e.candidate.tables}
+        assert tables == {"dns_hh", "ttl_probe"}
+
+    def test_combined_program_saves_two_stages(self, setup):
+        program, config, trace = setup
+        evaluated = evaluate_candidates(
+            program, config, trace, telemetry.TARGET,
+            enumerate_candidates(program),
+        )
+        combo = select_combination(
+            evaluated, min_stage_savings=2, max_redirect_fraction=0.10
+        )
+        combined = make_combined_offloaded_program(
+            program, [e.candidate for e in combo]
+        )
+        assert compile_program(combined, telemetry.TARGET).stages_used == 3
+        # Each segment has its own redirect table.
+        assert "To_Ctl" in combined.tables
+        assert "To_Ctl_2" in combined.tables
+
+    def test_overlapping_segments_rejected(self, setup):
+        program, _config, _trace = setup
+        candidates = enumerate_candidates(program)
+        dns = next(c for c in candidates if c.tables == ("dns_hh",))
+        with pytest.raises(OffloadError):
+            make_combined_offloaded_program(program, [dns, dns])
+
+    def test_run_phase_with_combination(self, setup):
+        program, config, trace = setup
+        outcome = run_phase(
+            program,
+            config,
+            trace,
+            telemetry.TARGET,
+            min_stage_savings=2,
+            allow_combination=True,
+        )
+        assert len(outcome.combination) == 2
+        offloaded = {
+            t for e in outcome.combination for t in e.candidate.tables
+        }
+        assert offloaded == {"dns_hh", "ttl_probe"}
+        assert (
+            compile_program(outcome.program, telemetry.TARGET).stages_used
+            == 3
+        )
+        titles = [o.title for o in outcome.observations]
+        assert any("combination" in t for t in titles)
+
+    def test_run_phase_without_combination_flag(self, setup):
+        program, config, trace = setup
+        outcome = run_phase(
+            program,
+            config,
+            trace,
+            telemetry.TARGET,
+            min_stage_savings=2,
+            allow_combination=False,
+        )
+        assert outcome.offloaded is None
+
+    def test_combined_behavior_preserved(self, setup):
+        """Each redirected packet gets its original verdict from the
+        matching controller segment."""
+        program, config, trace = setup
+        outcome = run_phase(
+            program, config, trace, telemetry.TARGET,
+            min_stage_savings=2, allow_combination=True,
+        )
+        from repro.sim import BehavioralSwitch
+
+        original = BehavioralSwitch(program, config)
+        optimized = BehavioralSwitch(outcome.program, outcome.config)
+        redirected = 0
+        for entry in trace:
+            data = entry[0] if isinstance(entry, tuple) else entry
+            r_orig = original.process(data)
+            r_opt = optimized.process(data)
+            if r_opt.to_controller:
+                redirected += 1
+                # Redirected packets are exactly those that traversed an
+                # offloaded feature in the original.
+                executed = set(r_orig.executed_tables())
+                assert executed & {"dns_hh", "ttl_probe"}
+            else:
+                assert (
+                    r_opt.forwarding_decision()
+                    == r_orig.forwarding_decision()
+                )
+        assert 0 < redirected < len(trace) * 0.05
