@@ -17,46 +17,50 @@ Quickstart::
         fw.make_trace(), fw.TARGET,
     ).run()
     print(render_report(result))
+
+Exports resolve lazily (PEP 562): importing :mod:`repro` does not import
+every subsystem, so a broken or missing optional submodule only fails the
+callers that actually use it — unrelated tests keep collecting.
 """
 
-from repro.core import (
-    P2GO,
-    P2GOResult,
-    Profile,
-    Profiler,
-    instrument,
-    optimize,
-    profile_program,
-    render_report,
-    stage_table,
-    summary_line,
-)
-from repro.exceptions import ReproError
-from repro.p4 import Program, ProgramBuilder
-from repro.sim import BehavioralSwitch, RuntimeConfig, TableEntry
-from repro.target import CompileResult, TargetModel, compile_program
+import importlib
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "BehavioralSwitch",
-    "CompileResult",
-    "P2GO",
-    "P2GOResult",
-    "Profile",
-    "Profiler",
-    "Program",
-    "ProgramBuilder",
-    "ReproError",
-    "RuntimeConfig",
-    "TableEntry",
-    "TargetModel",
-    "compile_program",
-    "instrument",
-    "optimize",
-    "profile_program",
-    "render_report",
-    "stage_table",
-    "summary_line",
-    "__version__",
-]
+#: Public name -> defining submodule.  Resolved on first attribute access.
+_EXPORTS = {
+    "BehavioralSwitch": "repro.sim",
+    "CompileResult": "repro.target",
+    "P2GO": "repro.core",
+    "P2GOResult": "repro.core",
+    "Profile": "repro.core",
+    "Profiler": "repro.core",
+    "Program": "repro.p4",
+    "ProgramBuilder": "repro.p4",
+    "ReproError": "repro.exceptions",
+    "RuntimeConfig": "repro.sim",
+    "TableEntry": "repro.sim",
+    "TargetModel": "repro.target",
+    "compile_program": "repro.target",
+    "instrument": "repro.core",
+    "optimize": "repro.core",
+    "profile_program": "repro.core",
+    "render_report": "repro.core",
+    "stage_table": "repro.core",
+    "summary_line": "repro.core",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

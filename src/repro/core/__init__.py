@@ -1,57 +1,58 @@
-"""P2GO core: instrumentation, profiling, and the optimization phases."""
+"""P2GO core: instrumentation, profiling, and the optimization phases.
 
-from repro.core.drift import (
-    DriftDetector,
-    DriftFinding,
-    DriftKind,
-    DriftReport,
-)
-from repro.core.instrument import InstrumentedProgram, instrument
-from repro.core.online import AlertKind, OnlineAlert, OnlineProfiler
-from repro.core.observations import (
-    Observation,
-    ObservationKind,
-    ObservationLog,
-    Phase,
-)
-from repro.core.pipeline import P2GO, P2GOResult, PhaseOutcome, optimize
-from repro.core.profiler import Profile, Profiler, ProfilingRun, profile_program
-from repro.core.report import render_report, stage_table, summary_line
+Exports resolve lazily (PEP 562) so an import error in one phase module
+(e.g. an optional dependency it gates on) does not take down every
+consumer of :mod:`repro.core` — only accesses to that module's names
+fail.
+"""
 
-from repro.core.runtime_guard import (
-    DependencyGuard,
-    add_dependency_guard,
-    guard_notifications,
-    mirror_guard_entries,
-)
+import importlib
 
-__all__ = [
-    "AlertKind",
-    "DependencyGuard",
-    "OnlineAlert",
-    "OnlineProfiler",
-    "DriftDetector",
-    "DriftFinding",
-    "DriftKind",
-    "DriftReport",
-    "InstrumentedProgram",
-    "add_dependency_guard",
-    "guard_notifications",
-    "mirror_guard_entries",
-    "Observation",
-    "ObservationKind",
-    "ObservationLog",
-    "P2GO",
-    "P2GOResult",
-    "Phase",
-    "PhaseOutcome",
-    "Profile",
-    "Profiler",
-    "ProfilingRun",
-    "instrument",
-    "optimize",
-    "profile_program",
-    "render_report",
-    "stage_table",
-    "summary_line",
-]
+#: Public name -> defining submodule under ``repro.core``.
+_EXPORTS = {
+    "AlertKind": "online",
+    "DependencyGuard": "runtime_guard",
+    "OnlineAlert": "online",
+    "OnlineProfiler": "online",
+    "DriftDetector": "drift",
+    "DriftFinding": "drift",
+    "DriftKind": "drift",
+    "DriftReport": "drift",
+    "InstrumentedProgram": "instrument",
+    "add_dependency_guard": "runtime_guard",
+    "guard_notifications": "runtime_guard",
+    "mirror_guard_entries": "runtime_guard",
+    "Observation": "observations",
+    "ObservationKind": "observations",
+    "ObservationLog": "observations",
+    "P2GO": "pipeline",
+    "P2GOResult": "pipeline",
+    "Phase": "observations",
+    "PhaseOutcome": "pipeline",
+    "Profile": "profiler",
+    "Profiler": "profiler",
+    "ProfilingRun": "profiler",
+    "instrument": "instrument",
+    "optimize": "pipeline",
+    "profile_program": "profiler",
+    "render_report": "report",
+    "stage_table": "report",
+    "summary_line": "report",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(
+        importlib.import_module(f"repro.core.{module_name}"), name
+    )
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,51 @@
+"""The RMT target backend — the stand-in for the vendor P4 compiler.
+
+Module map:
+
+* :mod:`repro.target.model` — :class:`TargetModel`, the pipeline's shape
+  (stages, SRAM/TCAM block pools, table slots) and block rounding.
+* :mod:`repro.target.resources` — per-table memory accounting
+  (entry/match/overhead bytes, register ownership, footprints).
+* :mod:`repro.target.allocation` — greedy stage allocation over the TDG.
+* :mod:`repro.target.compiler` — :func:`compile_program` →
+  :class:`CompileResult`, the facade everything else calls.
+* :mod:`repro.target.phv` — packet-header-vector accounting (§6).
+"""
+
+from repro.target.allocation import Allocation, Placement, allocate
+from repro.target.compiler import CompileResult, compile_program
+from repro.target.model import DEFAULT_TARGET, TargetModel
+from repro.target.phv import (
+    DEFAULT_PHV_BITS,
+    PhvUsage,
+    compute_phv_usage,
+    live_fields,
+)
+from repro.target.resources import (
+    TableFootprint,
+    compute_footprints,
+    register_owner_map,
+    table_entry_bits,
+    table_match_bytes,
+    table_overhead_bytes,
+)
+
+__all__ = [
+    "Allocation",
+    "CompileResult",
+    "DEFAULT_PHV_BITS",
+    "DEFAULT_TARGET",
+    "Placement",
+    "PhvUsage",
+    "TableFootprint",
+    "TargetModel",
+    "allocate",
+    "compile_program",
+    "compute_footprints",
+    "compute_phv_usage",
+    "live_fields",
+    "register_owner_map",
+    "table_entry_bits",
+    "table_match_bytes",
+    "table_overhead_bytes",
+]

@@ -1,0 +1,102 @@
+"""The compiler facade: program + target → stage mapping.
+
+This is the stand-in for the vendor P4 compiler P2GO drives: it
+validates the program, builds the table dependency graphs for both
+pipelines, runs stage allocation, and packages everything the
+optimization phases query — stage count, stage map, per-stage usage,
+and the TDG whose critical path phase 2 attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.control_graph import ControlGraph
+from repro.analysis.dependencies import (
+    DependencyGraph,
+    build_dependency_graph,
+)
+from repro.p4.program import Program
+from repro.target.allocation import Allocation, allocate
+from repro.target.model import DEFAULT_TARGET, TargetModel
+
+
+@dataclass
+class CompileResult:
+    """Everything one compile of a program against a target produced."""
+
+    program: Program
+    target: TargetModel
+    allocation: Allocation
+    #: Ingress TDG, merged with the egress TDG when the program has an
+    #: egress pipeline (the two share no tables, so merging is safe).
+    dependency_graph: DependencyGraph
+    #: Feasible execution paths of the ingress pipeline.
+    control_graph: ControlGraph
+    egress_dependency_graph: Optional[DependencyGraph] = None
+
+    @property
+    def stages_used(self) -> int:
+        return self.allocation.stages_used
+
+    @property
+    def fits(self) -> bool:
+        return self.stages_used <= self.target.num_stages
+
+    def stage_map(self) -> List[List[str]]:
+        return self.allocation.stage_map()
+
+    def summary(self) -> str:
+        lines = [
+            f"compile {self.program.name!r} -> {self.target}",
+            f"stages used: {self.stages_used} / {self.target.num_stages} "
+            f"(fits: {'yes' if self.fits else 'NO'})",
+        ]
+        for stage, tables in enumerate(self.stage_map()):
+            sram = self.allocation.sram_used_by_stage[stage]
+            tcam = self.allocation.tcam_used_by_stage[stage]
+            lines.append(
+                f"  stage {stage:2d}: "
+                f"[sram {sram:3d}/{self.target.sram_blocks_per_stage} "
+                f"tcam {tcam:3d}/{self.target.tcam_blocks_per_stage}] "
+                + ", ".join(tables)
+            )
+        return "\n".join(lines)
+
+
+def compile_program(
+    program: Program, target: TargetModel = DEFAULT_TARGET
+) -> CompileResult:
+    """Compile ``program`` for ``target``.
+
+    Raises :class:`~repro.exceptions.P4ValidationError` for malformed
+    programs, :class:`~repro.exceptions.CompilationError` for resource
+    models the program can never satisfy (shared registers, arrays larger
+    than a stage), and returns a result with ``fits = False`` — not an
+    exception — when the program merely needs more stages than the target
+    has.
+    """
+    program.validate()
+    control_graph = ControlGraph(program)
+    ingress_graph = build_dependency_graph(program, control_graph=control_graph)
+    egress_graph: Optional[DependencyGraph] = None
+    if program.egress_tables():
+        egress_graph = build_dependency_graph(program, control=program.egress)
+    allocation = allocate(
+        program, ingress_graph, target, egress_dependency_graph=egress_graph
+    )
+    merged = ingress_graph
+    if egress_graph is not None:
+        merged = DependencyGraph(
+            program,
+            {**ingress_graph.dependencies, **egress_graph.dependencies},
+        )
+    return CompileResult(
+        program=program,
+        target=target,
+        allocation=allocation,
+        dependency_graph=merged,
+        control_graph=control_graph,
+        egress_dependency_graph=egress_graph,
+    )

@@ -1,0 +1,116 @@
+"""PHV (packet header vector) accounting — §6 multi-dimensional resources.
+
+Stage count is the resource the paper optimizes first, but the PHV is the
+next bottleneck: every live header and metadata field must be carried
+through the pipeline.  The accounting rules mirror RMT PHV allocation:
+
+* A **packet header** is parsed as a unit, so if *any* of its fields is
+  live in match-action processing the whole header rides the PHV.
+  Parse-only headers (extracted, never matched or touched) are not
+  carried.
+* **Metadata** is synthesized per-field, so only the live fields count.
+* **standard metadata** (ports, drop flag, punt path) is always carried in
+  full — the traffic manager reads it whether the program does or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set
+
+from repro.p4.actions import STANDARD_METADATA
+from repro.p4.control import If, iter_nodes
+from repro.p4.expressions import FieldRef, fields_read
+from repro.p4.program import Program
+
+#: PHV capacity of the default target, in bits (RMT-scale: 4 Kb of
+#: packet-header vector per pipeline).
+DEFAULT_PHV_BITS = 4096
+
+
+def live_fields(program: Program) -> Set[FieldRef]:
+    """Every field the match-action pipelines read or write.
+
+    Covers table match keys, the reads and writes of every action
+    reachable from an applied table, and the fields control-flow
+    conditions branch on.  Parser-only activity is deliberately excluded
+    — a field that is extracted but never consumed does not have to live
+    in the PHV past the parser.
+    """
+    fields: Set[FieldRef] = set()
+    for table_name in program.tables_in_control_order():
+        table = program.tables[table_name]
+        for key in table.keys:
+            fields.add(key.field)
+        for action_name in table.all_action_names():
+            action = program.actions[action_name]
+            fields |= action.reads()
+            fields |= action.writes()
+    for control in (program.ingress, program.egress):
+        for node in iter_nodes(control):
+            if isinstance(node, If):
+                fields |= fields_read(node.condition)
+    return fields
+
+
+@dataclass(frozen=True)
+class PhvUsage:
+    """PHV bit demand split by contributor class."""
+
+    header_bits: int
+    metadata_bits: int
+    standard_bits: int
+    budget_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.header_bits + self.metadata_bits + self.standard_bits
+
+    @property
+    def fits(self) -> bool:
+        return self.total_bits <= self.budget_bits
+
+    @property
+    def utilization(self) -> float:
+        return self.total_bits / self.budget_bits
+
+    def render(self) -> str:
+        return (
+            f"PHV: {self.total_bits}/{self.budget_bits} bits "
+            f"({self.utilization:.1%}) — headers {self.header_bits}, "
+            f"metadata {self.metadata_bits}, "
+            f"standard {self.standard_bits}"
+        )
+
+
+def compute_phv_usage(
+    program: Program, budget_bits: int = DEFAULT_PHV_BITS
+) -> PhvUsage:
+    """PHV demand of ``program`` against a bit budget."""
+    fields = live_fields(program)
+    live_headers = {ref.header for ref in fields}
+
+    header_bits = 0
+    metadata_bits = 0
+    for instance in program.headers.values():
+        if instance.name == STANDARD_METADATA:
+            continue
+        htype = program.header_types[instance.header_type]
+        if instance.metadata:
+            metadata_bits += sum(
+                htype.field_width(ref.field)
+                for ref in fields
+                if ref.header == instance.name
+            )
+        elif instance.name in live_headers:
+            header_bits += htype.bit_width
+
+    standard_bits = program.header_types[
+        program.headers[STANDARD_METADATA].header_type
+    ].bit_width
+    return PhvUsage(
+        header_bits=header_bits,
+        metadata_bits=metadata_bits,
+        standard_bits=standard_bits,
+        budget_bits=budget_bits,
+    )

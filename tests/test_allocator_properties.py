@@ -176,3 +176,114 @@ def test_instrumentation_never_increases_stages(program):
     before = compile_program(program, TARGET).stages_used
     after = compile_program(instrument(program).program, TARGET).stages_used
     assert after <= before
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_programs())
+def test_stage_map_consistent_with_placements(program):
+    """stage_map() is a faithful projection of the placements: a table
+    appears in exactly the stages of its span, and stages_used covers the
+    highest occupied stage."""
+    result = compile_program(program, TARGET)
+    placements = result.allocation.placements
+    stage_map = result.stage_map()
+    assert len(stage_map) == result.stages_used
+    assert result.stages_used == 1 + max(
+        p.last_stage for p in placements.values()
+    )
+    for table, placement in placements.items():
+        span = set(placement.stages())
+        for stage, tables in enumerate(stage_map):
+            assert (table in tables) == (stage in span)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_programs())
+def test_placement_independent_of_stage_count(program):
+    """num_stages only decides fits — §2.2's virtual stages mean the
+    placement itself is identical on a 1-stage variant of the target."""
+    one_stage = TargetModel(
+        name="prop-one",
+        num_stages=1,
+        sram_blocks_per_stage=TARGET.sram_blocks_per_stage,
+        tcam_blocks_per_stage=TARGET.tcam_blocks_per_stage,
+        sram_block_bytes=TARGET.sram_block_bytes,
+        tcam_block_bytes=TARGET.tcam_block_bytes,
+        max_tables_per_stage=TARGET.max_tables_per_stage,
+    )
+    wide = compile_program(program, TARGET)
+    narrow = compile_program(program, one_stage)
+    assert narrow.stage_map() == wide.stage_map()
+    assert narrow.stages_used == wide.stages_used
+    assert narrow.fits == (narrow.stages_used <= 1)
+    assert wide.fits == (wide.stages_used <= TARGET.num_stages)
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_programs())
+def test_conflicting_pairs_in_distinct_ordered_stages(program):
+    """MATCH/ACTION-dependent pairs never share a stage: the consumer's
+    whole span starts strictly after the producer's ends."""
+    result = compile_program(program, TARGET)
+    placements = result.allocation.placements
+    for dep in result.dependency_graph.edges():
+        if dep.min_stage_separation < 1:
+            continue
+        src, dst = placements[dep.src], placements[dep.dst]
+        assert dst.first_stage > src.last_stage
+        assert not (set(src.stages()) & set(dst.stages()))
+
+
+@st.composite
+def register_programs(draw):
+    """Programs whose tables own register arrays (one array per table)."""
+    from repro.p4.actions import RegisterWrite
+
+    n_tables = draw(st.integers(1, 4))
+    b = ProgramBuilder("regprop")
+    b.header_type("h_t", [("f1", 32), ("f2", 16)])
+    b.header("h", "h_t")
+    b.parser_state("start", extracts=["h"])
+    nodes = []
+    for i in range(n_tables):
+        # 32-bit cells: 16..256 cells = 64..1024 B, at most one full stage.
+        cells = draw(st.sampled_from([16, 64, 128, 200, 256]))
+        b.register(f"r{i}", width=32, size=cells)
+        b.action(f"w{i}", [RegisterWrite(f"r{i}", Const(0), Const(1))])
+        if draw(st.booleans()):
+            b.table(
+                f"t{i}",
+                keys=[("h.f1", "exact")],
+                actions=[f"w{i}"],
+                size=draw(st.sampled_from([1, 4, 16])),
+            )
+        else:
+            b.table(f"t{i}", keys=[], actions=[], default_action=f"w{i}")
+        nodes.append(Apply(f"t{i}"))
+    b.ingress(Seq(nodes))
+    return b.build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(register_programs())
+def test_registers_colocated_at_owner_first_stage(program):
+    """Every owned array lands whole in the stage where its table
+    executes (one stateful ALU per array), and per-stage SRAM accounting
+    covers at least the recomputed match + register blocks."""
+    dep_graph = build_dependency_graph(program)
+    allocation = allocate(program, dep_graph, TARGET)
+    footprints = compute_footprints(program)
+    recomputed = defaultdict(int)
+    for table, placement in allocation.placements.items():
+        placed_registers = dict(placement.register_stage)
+        for name, blocks in footprints[table].register_blocks(TARGET):
+            assert placed_registers[name] == placement.first_stage
+            recomputed[placement.first_stage] += blocks
+        for stage, blocks in placement.match_blocks_by_stage:
+            recomputed[stage] += blocks
+    for stage, used in recomputed.items():
+        assert used <= allocation.sram_used_by_stage[stage]
+        assert (
+            allocation.sram_used_by_stage[stage]
+            <= TARGET.sram_blocks_per_stage
+        )
