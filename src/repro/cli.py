@@ -7,7 +7,10 @@ program (DSL file), a runtime configuration (JSON), and a traffic trace
 Commands:
 
 * ``compile PROGRAM`` — stage map / fit report for a target.
-* ``profile PROGRAM --config CFG --trace PCAP`` — phase 1 on its own.
+* ``profile PROGRAM --config CFG --trace PCAP [--no-cache]`` — phase 1
+  on its own; prints the profiling engine's perf counters (packets/s,
+  flow-cache hit rate).  ``--no-cache`` forces the uncached reference
+  interpreter.
 * ``optimize PROGRAM --config CFG --trace PCAP`` — the full pipeline;
   writes the optimized program (DSL) and the observation report.
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
@@ -110,9 +113,14 @@ def cmd_compile(args: argparse.Namespace) -> int:
 def cmd_profile(args: argparse.Namespace) -> int:
     program = load_program(args.program)
     config = load_config(args.config)
+    if args.no_cache:
+        config.enable_flow_cache = False
+        config.enable_compiled_tables = False
     trace = load_trace(args.trace)
-    profile = Profiler(program, config).profile(trace)
+    profile, perf = Profiler(program, config).profile_trace(trace)
     print(f"profiled {profile.total_packets} packets")
+    print(perf.render())
+    print()
     print(f"{'table':<24} {'hit rate':>9} {'apply rate':>11}")
     for table in program.tables_in_control_order():
         print(
@@ -208,6 +216,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_profile.add_argument("program")
     p_profile.add_argument("--config", help="runtime config JSON")
     p_profile.add_argument("--trace", required=True, help="pcap trace")
+    p_profile.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the flow-result cache and compiled match "
+        "structures (uncached reference interpreter)",
+    )
     p_profile.set_defaults(func=cmd_profile)
 
     p_opt = sub.add_parser("optimize", help="run the P2GO pipeline")

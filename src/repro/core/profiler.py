@@ -4,6 +4,18 @@ P2GO loads the instrumented program into the simulator, installs the
 match-action rules, replays the traffic trace, and infers from the marked
 packets: (i) each table's hit rate, and (ii) the sets of actions applied
 to the same packet (non-exclusive actions, Table 1).
+
+Replay goes through the simulator's batched fast path
+(:meth:`~repro.sim.switch.BehavioralSwitch.process_many`): match
+structures compile once per run, stateless traversals are served from
+the flow-result cache, and the run's :class:`~repro.sim.perf.PerfCounters`
+ride along on :class:`ProfilingRun` / :meth:`Profiler.profile_trace`.
+The cache memoizes only what the profile can tolerate: verdicts replay
+onto each packet's own parsed headers, so the per-packet profiling bits,
+execution steps, and forwarding decisions the profile is built from are
+bit-identical with the cache on or off (``enable_flow_cache=False`` on
+the :class:`~repro.sim.runtime.RuntimeConfig` forces the uncached
+interpreter; ``tests/test_profiling_engine.py`` pins the equivalence).
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.core.instrument import InstrumentedProgram, instrument
 from repro.p4.program import Program
+from repro.sim.perf import PerfCounters
 from repro.sim.runtime import RuntimeConfig
 from repro.sim.switch import BehavioralSwitch
 from repro.traffic.generators import TracePacket
@@ -136,6 +149,11 @@ class ProfilingRun:
     instrumented: InstrumentedProgram
     switch: BehavioralSwitch
 
+    @property
+    def perf(self) -> PerfCounters:
+        """The replay's perf counters (packets/s, cache hit rate, …)."""
+        return self.switch.perf
+
 
 class Profiler:
     """Profiles a program by instrumented trace replay."""
@@ -193,6 +211,13 @@ class Profiler:
 
     def profile(self, trace: Sequence[TracePacket]) -> Profile:
         return self.run(trace).profile
+
+    def profile_trace(
+        self, trace: Sequence[TracePacket]
+    ) -> Tuple[Profile, PerfCounters]:
+        """Batched profiling plus the engine's perf counters."""
+        run = self.run(trace)
+        return run.profile, run.perf
 
 
 def profile_program(

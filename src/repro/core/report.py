@@ -54,6 +54,13 @@ def render_report(result: P2GOResult) -> str:
         stage_table(result),
         "",
     ]
+    if result.profiling_perf is not None:
+        lines.append("profiling engine:")
+        lines.extend(
+            "  " + perf_line
+            for perf_line in result.profiling_perf.render().splitlines()
+        )
+        lines.append("")
     optimizations = result.observations.optimizations()
     lines.append(f"applied optimizations: {len(optimizations)}")
     if result.offloaded_tables:

@@ -62,14 +62,19 @@ class HeaderType:
             raise P4ValidationError(
                 f"header type {self.name!r} has duplicate fields"
             )
+        # Widths are cached because pack/unpack sits on the simulator's
+        # per-packet hot path; ``fields`` is treated as immutable after
+        # construction.
+        self._bit_width = sum(f.width for f in self.fields)
+        self._byte_width = bytes_for_bits(self._bit_width)
 
     @property
     def bit_width(self) -> int:
-        return sum(f.width for f in self.fields)
+        return self._bit_width
 
     @property
     def byte_width(self) -> int:
-        return bytes_for_bits(self.bit_width)
+        return self._byte_width
 
     def field_names(self) -> Tuple[str, ...]:
         return tuple(f.name for f in self.fields)

@@ -1,8 +1,23 @@
-"""Behavioural switch simulator (bmv2/Tofino-model substitute)."""
+"""Behavioural switch simulator (bmv2/Tofino-model substitute).
+
+Besides the reference interpreter this package houses the fast profiling
+engine: the flow-result cache (:mod:`repro.sim.flowcache`), precompiled
+match structures (:class:`repro.sim.match.CompiledTable`), and the perf
+counters (:mod:`repro.sim.perf`) that make trace replay cheap enough to
+run inside every optimization phase.
+"""
 
 from repro.sim.events import ControllerPacket, ExecutionStep
+from repro.sim.flowcache import (
+    FlowAnalysis,
+    FlowCache,
+    FlowVerdict,
+    analyze_program,
+)
 from repro.sim.hashing import ALGORITHMS, compute_hash
+from repro.sim.match import CompiledTable, compile_table
 from repro.sim.parser_engine import ParsedPacket, deparse_packet, parse_packet
+from repro.sim.perf import PerfCounters
 from repro.sim.runtime import RuntimeConfig, TableEntry
 from repro.sim.state import SwitchState
 from repro.sim.switch import BehavioralSwitch, SwitchResult
@@ -10,13 +25,20 @@ from repro.sim.switch import BehavioralSwitch, SwitchResult
 __all__ = [
     "ALGORITHMS",
     "BehavioralSwitch",
+    "CompiledTable",
     "ControllerPacket",
     "ExecutionStep",
+    "FlowAnalysis",
+    "FlowCache",
+    "FlowVerdict",
     "ParsedPacket",
+    "PerfCounters",
     "RuntimeConfig",
     "SwitchResult",
     "SwitchState",
     "TableEntry",
+    "analyze_program",
+    "compile_table",
     "compute_hash",
     "deparse_packet",
     "parse_packet",

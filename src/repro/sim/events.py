@@ -1,4 +1,11 @@
-"""Events emitted by the behavioural switch."""
+"""Events emitted by the behavioural switch.
+
+Both event types are frozen dataclasses on purpose: cached
+:class:`~repro.sim.flowcache.FlowVerdict`\\ s hold the
+:class:`ExecutionStep` stream of the traversal they memoized and hand the
+*same* objects to every replayed packet, so a mutable step would let one
+packet's consumer corrupt another packet's recorded history.
+"""
 
 from __future__ import annotations
 

@@ -1,0 +1,237 @@
+"""Flow-result cache: memoized table-walk verdicts for stateless packets.
+
+Two packets whose *match-relevant* header bytes agree traverse the exact
+same control path, match the same entries, and execute the same actions —
+provided no executed action touches a register.  The cache exploits this:
+
+* :func:`analyze_program` statically over-approximates the fields the
+  pipeline may *read* (table keys, ``if`` conditions, every expression
+  operand inside every action, hash inputs, register indices) and the
+  actions that touch registers.  Only *packet* headers contribute key
+  fields: metadata starts zeroed for every packet except
+  ``ingress_port``, which is part of the key separately.
+* The cache key is ``(ingress_port, read-field values, valid-header
+  set)``, built from the freshly parsed packet before any execution.
+* A cached :class:`FlowVerdict` stores the traversal *delta* — the
+  execution steps, the final values of every field the pipeline wrote,
+  and header validity changes — **not** the final packet.  Replaying a
+  verdict applies the delta to the new packet's own parsed headers, so
+  pass-through fields the pipeline never reads or writes (TCP sequence
+  numbers, DHCP transaction ids, payloads) keep their per-packet values
+  bit-for-bit.
+
+What may be memoized: traversals whose executed actions perform no
+``register_read``/``register_write``.  Their outcome is a pure function
+of the key (written values can only depend on read fields, which the key
+covers, and on entry action data, which is constant between config
+mutations).  What may never be memoized: any traversal that touched a
+register — those depend on or mutate cross-packet state, so the switch
+both skips insertion *and* flushes the cache (the conservative
+invalidation rule; see DESIGN.md "Profiling engine").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.p4.control import Apply, ControlNode, If, Seq
+from repro.p4.expressions import FieldRef, fields_read
+from repro.p4.program import Program
+from repro.sim.events import ExecutionStep
+
+#: A cache key: (ingress_port, read-field values, valid packet headers).
+FlowKey = Tuple[int, Tuple[int, ...], FrozenSet[str]]
+
+
+@dataclass(frozen=True)
+class FlowAnalysis:
+    """Static facts the cache needs about one program."""
+
+    #: (header, field) pairs whose initial values the pipeline may read,
+    #: restricted to packet headers (metadata starts identical for every
+    #: packet), in deterministic order.
+    key_fields: Tuple[Tuple[str, str], ...]
+    #: Names of actions containing register reads or writes.
+    stateful_actions: FrozenSet[str]
+
+
+def analyze_program(program: Program) -> FlowAnalysis:
+    """Derive the cache-key field set and the stateful-action set.
+
+    The read set is a *static over-approximation*: it unions the reads of
+    every table key, every control-flow condition, and every action in
+    the program, whether or not a given packet executes them.  That keeps
+    the key sound without tracking per-packet control paths.
+    """
+    reads: Set[FieldRef] = set()
+
+    def walk(node: ControlNode) -> None:
+        if isinstance(node, Seq):
+            for child in node.nodes:
+                walk(child)
+        elif isinstance(node, If):
+            reads.update(fields_read(node.condition))
+            walk(node.then_node)
+            if node.else_node is not None:
+                walk(node.else_node)
+        elif isinstance(node, Apply):
+            table = program.tables[node.table]
+            for key in table.keys:
+                reads.add(key.field)
+            if node.on_hit is not None:
+                walk(node.on_hit)
+            if node.on_miss is not None:
+                walk(node.on_miss)
+
+    walk(program.ingress)
+    walk(program.egress)
+
+    stateful: Set[str] = set()
+    for action in program.actions.values():
+        reads.update(action.reads())
+        if action.registers_read() or action.registers_written():
+            stateful.add(action.name)
+
+    metadata = {inst.name for inst in program.metadata_headers()}
+    key_fields = tuple(sorted(
+        (ref.header, ref.field)
+        for ref in reads
+        if ref.header not in metadata
+    ))
+    return FlowAnalysis(
+        key_fields=key_fields, stateful_actions=frozenset(stateful)
+    )
+
+
+def compile_key_extractor(key_fields: Tuple[Tuple[str, str], ...]):
+    """Build ``headers -> tuple(field values)`` for the cache key.
+
+    Exec-compiled into one tuple literal when names permit (invalid
+    headers contribute 0, mirroring the read-of-invalid convention);
+    generic closure otherwise.
+    """
+    if not key_fields:
+        return lambda headers: ()
+    names = {n for pair in key_fields for n in pair}
+    if all(n.isidentifier() for n in names):
+        header_vars: Dict[str, str] = {}
+        lines = ["def extract(headers):"]
+        for header, _field in key_fields:
+            if header not in header_vars:
+                var = f"h{len(header_vars)}"
+                header_vars[header] = var
+                lines.append(f"    {var} = headers.get({header!r})")
+        elems = ", ".join(
+            f"({header_vars[h]}[{f!r}] if {header_vars[h]} is not None "
+            "else 0)"
+            for h, f in key_fields
+        )
+        comma = "," if len(key_fields) == 1 else ""
+        lines.append(f"    return ({elems}{comma})")
+        namespace: Dict[str, object] = {}
+        exec("\n".join(lines), namespace)  # noqa: S102
+        return namespace["extract"]
+
+    def extract(headers: Dict[str, Dict[str, int]]) -> Tuple[int, ...]:
+        values = []
+        for header, field_name in key_fields:
+            fields = headers.get(header)
+            values.append(0 if fields is None else fields[field_name])
+        return tuple(values)
+
+    return extract
+
+
+@dataclass(frozen=True)
+class FlowVerdict:
+    """The memoized outcome of one stateless traversal (a delta).
+
+    ``writes`` holds the final value of every field the pipeline wrote
+    whose header dict survived to the end of the traversal; ``added`` /
+    ``removed`` record header-validity changes relative to the freshly
+    parsed packet.  Scalar forwarding outputs are stored directly so
+    replay never re-reads metadata.
+    """
+
+    steps: Tuple[ExecutionStep, ...]
+    writes: Tuple[Tuple[str, str, int], ...]
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    egress_port: int
+    dropped: bool
+    to_controller: bool
+    controller_reason: int
+    #: Headers the delta touches (written / added / removed).  Replay must
+    #: re-serialize these; every other valid packet header is bit-identical
+    #: to its slice of the incoming packet, which the deparse fast path
+    #: reuses directly.
+    dirty: FrozenSet[str] = frozenset()
+
+
+class FlowCache:
+    """A bounded mapping from :data:`FlowKey` to :class:`FlowVerdict`.
+
+    Capacity is enforced by flushing wholesale when full — cheap, and the
+    next window of flows re-warms immediately.  The switch reports the
+    flush through ``PerfCounters.cache_evictions``.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("flow cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[FlowKey, FlowVerdict] = {}
+
+    def get(self, key: FlowKey) -> Optional[FlowVerdict]:
+        return self._entries.get(key)
+
+    def put(self, key: FlowKey, verdict: FlowVerdict) -> bool:
+        """Insert; returns True if a capacity flush was needed first."""
+        flushed = False
+        if len(self._entries) >= self.capacity and key not in self._entries:
+            self._entries.clear()
+            flushed = True
+        self._entries[key] = verdict
+        return flushed
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def build_verdict(
+    steps: List[ExecutionStep],
+    write_log: Set[Tuple[str, str]],
+    initial_valid: FrozenSet[str],
+    final_valid: Set[str],
+    final_headers: Dict[str, Dict[str, int]],
+    egress_port: int,
+    dropped: bool,
+    to_controller: bool,
+    controller_reason: int,
+) -> FlowVerdict:
+    """Condense one executed traversal into a replayable delta."""
+    writes = tuple(
+        (header, field, final_headers[header][field])
+        for header, field in sorted(write_log)
+        if header in final_headers and field in final_headers[header]
+    )
+    added = tuple(sorted(set(final_valid) - set(initial_valid)))
+    removed = tuple(sorted(set(initial_valid) - set(final_valid)))
+    dirty = frozenset(
+        {header for header, _field in write_log} | set(added) | set(removed)
+    )
+    return FlowVerdict(
+        steps=tuple(steps),
+        writes=writes,
+        added=added,
+        removed=removed,
+        egress_port=egress_port,
+        dropped=dropped,
+        to_controller=to_controller,
+        controller_reason=controller_reason,
+        dirty=dirty,
+    )

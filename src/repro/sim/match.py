@@ -1,8 +1,28 @@
-"""Table lookup: exact, longest-prefix, and ternary matching."""
+"""Table lookup: exact, longest-prefix, and ternary matching.
+
+Two implementations of the same winner-selection semantics live here:
+
+* :func:`lookup` — the reference linear scan, re-canonicalizing every
+  entry per packet.  Kept as the legacy baseline (``RuntimeConfig.
+  enable_compiled_tables = False``) and as the oracle the equivalence
+  tests compare against.
+* :func:`compile_table` / :class:`CompiledTable` — per-run precompiled
+  match structures: exact tables become hash maps, single-LPM-key tables
+  become per-prefix-length hash buckets probed longest-first, and the
+  general case becomes a priority-ordered scan over premasked specs.
+  The batched profiling engine builds these once per run instead of
+  per packet.
+
+Both paths are pure functions of ``(table, entries, key values)`` — they
+read no register state — so their results are safe inputs to the
+flow-result cache (:mod:`repro.sim.flowcache`).  Entry ranking is
+identical everywhere: highest ``(total LPM specificity, priority)``
+wins, ties broken by installation order.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SimulationError
 from repro.p4.tables import MatchKind, Table
@@ -73,3 +93,135 @@ def lookup(
             best = entry
             best_rank = rank
     return best
+
+
+# ----------------------------------------------------------------------
+# Precompiled match structures (built once per profiling run).
+
+
+def _entry_masks(
+    table: Table, key_widths: Sequence[int], entry: TableEntry
+) -> Tuple[Tuple[Tuple[int, int], ...], int]:
+    """Premask one entry: ((mask, target) per key, total LPM specificity).
+
+    A key value ``v`` matches iff ``v & mask == target`` — exact keys use
+    the full-width mask, LPM keys the prefix mask, ternary keys their own
+    mask.  This is exactly :func:`_spec_matches` with the per-packet
+    canonicalization hoisted out.
+    """
+    pairs: List[Tuple[int, int]] = []
+    specificity = 0
+    for key, width, spec in zip(table.keys, key_widths, entry.match):
+        if key.kind is MatchKind.EXACT:
+            mask = (1 << width) - 1
+            pairs.append((mask, spec & mask))
+        elif key.kind is MatchKind.LPM:
+            value, plen = spec
+            mask = (((1 << plen) - 1) << (width - plen)) if plen else 0
+            pairs.append((mask, value & mask))
+            specificity += plen
+        else:  # TERNARY
+            value, mask = spec
+            pairs.append((mask, value & mask))
+    return tuple(pairs), specificity
+
+
+class CompiledTable:
+    """One table's entries, preprocessed for O(1)/near-O(1) lookup.
+
+    Strategy is chosen from the key kinds:
+
+    * all-exact → one dict keyed by the value tuple,
+    * exactly one LPM key (rest exact) → per-prefix-length dicts probed
+      longest prefix first,
+    * anything else (ternary, multi-LPM) → a scan over premasked specs in
+      descending ``(specificity, priority)`` order, first match wins.
+
+    All three reproduce :func:`lookup`'s ranking bit-for-bit; a property
+    test drives them against the reference scan with random entries.
+    """
+
+    __slots__ = ("table_name", "_exact", "_lpm_pos", "_lpm_buckets", "_scan")
+
+    def __init__(
+        self,
+        table: Table,
+        key_widths: Sequence[int],
+        entries: Sequence[TableEntry],
+    ):
+        self.table_name = table.name
+        self._exact: Optional[Dict[Tuple[int, ...], TableEntry]] = None
+        self._lpm_pos: int = -1
+        self._lpm_buckets: Optional[
+            List[Tuple[int, Dict[Tuple[int, ...], TableEntry]]]
+        ] = None
+        self._scan: Optional[
+            List[Tuple[Tuple[Tuple[int, int], ...], TableEntry]]
+        ] = None
+
+        kinds = [key.kind for key in table.keys]
+        # Rank entries once: highest (specificity, priority) first, ties
+        # by installation order (stable sort) — lookup()'s exact order.
+        ranked = sorted(
+            (
+                (*_entry_masks(table, key_widths, entry), entry)
+                for entry in entries
+            ),
+            key=lambda item: (-item[1], -item[2].priority),
+        )
+
+        if all(kind is MatchKind.EXACT for kind in kinds):
+            self._exact = {}
+            for pairs, _spec, entry in ranked:
+                values = tuple(target for _mask, target in pairs)
+                self._exact.setdefault(values, entry)
+        elif kinds.count(MatchKind.LPM) == 1 and all(
+            kind in (MatchKind.EXACT, MatchKind.LPM) for kind in kinds
+        ):
+            self._lpm_pos = kinds.index(MatchKind.LPM)
+            lpm_width = key_widths[self._lpm_pos]
+            # With a single LPM key, an entry's specificity IS its prefix
+            # length, so bucketing by specificity buckets by prefix.
+            buckets: Dict[int, Dict[Tuple[int, ...], TableEntry]] = {}
+            for pairs, plen, entry in ranked:
+                masked = tuple(target for _mask, target in pairs)
+                buckets.setdefault(plen, {}).setdefault(masked, entry)
+            self._lpm_buckets = [
+                (
+                    (((1 << plen) - 1) << (lpm_width - plen)) if plen else 0,
+                    buckets[plen],
+                )
+                for plen in sorted(buckets, reverse=True)
+            ]
+        else:
+            self._scan = [(pairs, entry) for pairs, _spec, entry in ranked]
+
+    def lookup(self, key_values: Sequence[int]) -> Optional[TableEntry]:
+        """Find the winning entry, or None (miss)."""
+        if self._exact is not None:
+            return self._exact.get(tuple(key_values))
+        if self._lpm_buckets is not None:
+            pos = self._lpm_pos
+            probe = list(key_values)
+            for mask, bucket in self._lpm_buckets:
+                probe[pos] = key_values[pos] & mask
+                entry = bucket.get(tuple(probe))
+                if entry is not None:
+                    return entry
+            return None
+        for pairs, entry in self._scan:
+            for (mask, target), value in zip(pairs, key_values):
+                if value & mask != target:
+                    break
+            else:
+                return entry
+        return None
+
+
+def compile_table(
+    table: Table,
+    key_widths: Sequence[int],
+    entries: Sequence[TableEntry],
+) -> CompiledTable:
+    """Build the precompiled match structure for one table."""
+    return CompiledTable(table, key_widths, entries)

@@ -10,21 +10,27 @@ the identity for unmodified packets.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 from repro.exceptions import SimulationError
 from repro.p4.parser_spec import ACCEPT
 from repro.p4.program import Program
-from repro.packets.packet import pack_fields, unpack_fields
+from repro.packets.packet import get_codec, pack_fields
 
 
 @dataclass
 class ParsedPacket:
-    """Result of parsing one packet."""
+    """Result of parsing one packet.
+
+    ``spans`` maps each extracted header to its ``(start, end)`` byte
+    range in the original packet, letting the flow-cache replay path emit
+    untouched headers by slicing the input instead of re-packing them.
+    """
 
     headers: Dict[str, Dict[str, int]]
     valid: Set[str]
     payload: bytes
+    spans: Dict[str, Tuple[int, int]] = dc_field(default_factory=dict)
 
     def field(self, header: str, field_name: str) -> int:
         return self.headers[header][field_name]
@@ -38,21 +44,23 @@ def parse_packet(program: Program, data: bytes) -> ParsedPacket:
         )
     headers: Dict[str, Dict[str, int]] = {}
     valid: Set[str] = set()
+    spans: Dict[str, Tuple[int, int]] = {}
     offset = 0
     state_name = program.parser.start
     while state_name != ACCEPT:
         state = program.parser.states[state_name]
         for header_name in state.extracts:
-            htype = program.header_type_of(header_name)
-            if offset + htype.byte_width > len(data):
+            codec = get_codec(program.header_type_of(header_name))
+            if offset + codec.byte_width > len(data):
                 raise SimulationError(
                     f"packet too short: state {state_name!r} needs "
-                    f"{htype.byte_width} bytes for {header_name!r}, "
+                    f"{codec.byte_width} bytes for {header_name!r}, "
                     f"{len(data) - offset} remain"
                 )
-            headers[header_name] = unpack_fields(htype, data[offset:])
+            headers[header_name] = codec.unpack_at(data, offset)
             valid.add(header_name)
-            offset += htype.byte_width
+            spans[header_name] = (offset, offset + codec.byte_width)
+            offset += codec.byte_width
         if state.select is None:
             state_name = state.default
         else:
@@ -71,7 +79,9 @@ def parse_packet(program: Program, data: bytes) -> ParsedPacket:
             htype = program.header_types[inst.header_type]
             headers[inst.name] = {name: 0 for name in htype.field_names()}
             valid.add(inst.name)
-    return ParsedPacket(headers=headers, valid=valid, payload=data[offset:])
+    return ParsedPacket(
+        headers=headers, valid=valid, payload=data[offset:], spans=spans
+    )
 
 
 def deparse_packet(

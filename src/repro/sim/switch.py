@@ -4,24 +4,65 @@ This is the simulator P2GO profiles against — our stand-in for the Tofino
 simulator (the paper notes bmv2-style behavioural simulation suffices for
 everything except realistic resource allocation, which lives in
 :mod:`repro.target` instead).
+
+Because profiling a trace is the dominant cost of every P2GO run, the
+switch doubles as a *fast profiling engine*:
+
+* a **flow-result cache** (:mod:`repro.sim.flowcache`) memoizes the
+  table-walk verdict of packets whose executed actions touch no
+  registers, keyed on the match-relevant header bytes.  Any traversal
+  that reads or writes a register bypasses the cache AND flushes it —
+  stateful packets never serve, and never become, cached verdicts.
+  Disable with ``RuntimeConfig.enable_flow_cache = False``.
+* **precompiled match structures** (:class:`repro.sim.match.CompiledTable`)
+  replace the per-packet linear entry scans; built lazily, once per run.
+  Disable with ``RuntimeConfig.enable_compiled_tables = False``.
+* **perf counters** (:class:`repro.sim.perf.PerfCounters`) on
+  ``BehavioralSwitch.perf``, timed by the batched
+  :meth:`BehavioralSwitch.process_many` entry point.
+
+Both optimizations are behaviour-preserving: with identical inputs the
+engine produces bit-identical :class:`SwitchResult` streams with the
+switches on or off (property-tested in ``tests/test_profiling_engine.py``;
+semantics argument in DESIGN.md, "Profiling engine").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from dataclasses import dataclass
 
 from repro.exceptions import SimulationError
 from repro.p4.actions import STANDARD_METADATA
 from repro.p4.control import Apply, ControlNode, If, Seq
 from repro.p4.expressions import FieldRef
+from repro.p4.parser_spec import ACCEPT
 from repro.p4.program import Program
+from repro.p4.types import mask
+from repro.packets.packet import get_codec
 from repro.sim.action_interp import Phv, eval_expr, execute_action
 from repro.sim.events import ControllerPacket, ExecutionStep
-from repro.sim.match import lookup
-from repro.sim.parser_engine import deparse_packet, parse_packet
+from repro.sim.flowcache import (
+    FlowCache,
+    FlowKey,
+    FlowVerdict,
+    analyze_program,
+    build_verdict,
+    compile_key_extractor,
+)
+from repro.sim.match import CompiledTable, compile_table, lookup
+from repro.sim.perf import PerfCounters
 from repro.sim.runtime import RuntimeConfig
+from repro.sim.parser_engine import ParsedPacket, deparse_packet
 from repro.sim.state import SwitchState
+
+_INGRESS_PORT = FieldRef(STANDARD_METADATA, "ingress_port")
+_EGRESS_PORT = FieldRef(STANDARD_METADATA, "egress_port")
+_DROP_FLAG = FieldRef(STANDARD_METADATA, "drop_flag")
+_TO_CONTROLLER = FieldRef(STANDARD_METADATA, "to_controller")
+_CONTROLLER_REASON = FieldRef(STANDARD_METADATA, "controller_reason")
 
 
 @dataclass
@@ -55,7 +96,8 @@ class BehavioralSwitch:
     """A software switch running one program with one runtime config.
 
     Register state persists across packets; call :meth:`reset_state` to
-    start a fresh profiling run.
+    start a fresh profiling run (this also clears the flow cache and the
+    perf counters).
     """
 
     def __init__(self, program: Program, config: Optional[RuntimeConfig] = None):
@@ -65,7 +107,57 @@ class BehavioralSwitch:
         self.config.validate(program)
         self.state = SwitchState(program)
         self.controller_queue: List[ControllerPacket] = []
+        self.perf = PerfCounters()
         self._packet_count = 0
+        # Profiling-engine state: static key/statefulness analysis, the
+        # flow-result cache, lazily compiled per-table match structures,
+        # and the config-mutation stamp they were built against.
+        self._analysis = analyze_program(program)
+        self._key_extract = compile_key_extractor(self._analysis.key_fields)
+        self._flow_cache = FlowCache(self.config.flow_cache_capacity)
+        self._compiled_tables: Dict[str, CompiledTable] = {}
+        self._key_widths: Dict[str, List[int]] = {}
+        self._config_mutations = self.config.mutations
+        self._packet_touched_register = False
+        # Per-program plans precompiled once: parser states with their
+        # header codecs, deparse order, metadata names, and the
+        # ingress_port width mask.
+        self._metadata_names = tuple(
+            inst.name for inst in program.metadata_headers()
+        )
+        self._ingress_mask = mask(program.field_width(_INGRESS_PORT))
+        self._deparse_plan = tuple(
+            (inst.name, get_codec(program.header_types[inst.header_type]))
+            for inst in program.packet_headers()
+        )
+        self._auto_valid = tuple(
+            (
+                inst.name,
+                program.header_types[inst.header_type].field_names(),
+            )
+            for inst in program.packet_headers()
+            if inst.auto_valid
+        )
+        self._parse_states = None
+        self._parse_start = ""
+        if program.parser is not None:
+            self._parse_start = program.parser.start
+            self._parse_states = {
+                name: (
+                    tuple(
+                        (
+                            h,
+                            get_codec(program.header_type_of(h)),
+                            program.header_type_of(h).byte_width,
+                        )
+                        for h in state.extracts
+                    ),
+                    state.select,
+                    state.transitions,
+                    state.default,
+                )
+                for name, state in program.parser.states.items()
+            }
         self._apply_register_inits()
 
     # ------------------------------------------------------------------
@@ -81,34 +173,245 @@ class BehavioralSwitch:
             )
 
     def reset_state(self) -> None:
-        """Reset registers to their configured initial contents and clear
-        the controller queue."""
+        """Reset registers to their configured initial contents, clear the
+        controller queue, the flow-result cache, and the perf counters."""
         self.state.reset()
         self.controller_queue.clear()
         self._packet_count = 0
+        self._flow_cache.clear()
+        self.perf.reset()
         self._apply_register_inits()
+
+    def invalidate_caches(self) -> None:
+        """Drop the flow cache and compiled tables (after config edits).
+
+        Called automatically when the config was mutated through its API
+        (``add_entry`` / ``set_default``); callers that poke
+        ``config.entries`` dicts directly must invoke this themselves.
+        """
+        self._flow_cache.clear()
+        self._compiled_tables.clear()
+        self._config_mutations = self.config.mutations
+
+    def warm_caches(self) -> None:
+        """Precompile every table's match structure up front (batch runs)."""
+        if not self.config.enable_compiled_tables:
+            return
+        for table_name in self.program.tables:
+            self._compiled_table(table_name)
 
     # ------------------------------------------------------------------
     def process(self, data: bytes, ingress_port: int = 0) -> SwitchResult:
         """Push one packet through parse → ingress → deparse."""
-        parsed = parse_packet(self.program, data)
+        if self._config_mutations != self.config.mutations:
+            self.invalidate_caches()
+        self.perf.packets += 1
+        parsed = self._parse(data)
+        key: Optional[FlowKey] = None
+        if self.config.enable_flow_cache:
+            key = self._flow_key(parsed, ingress_port)
+            verdict = self._flow_cache.get(key)
+            if verdict is not None:
+                self.perf.cache_hits += 1
+                return self._replay_verdict(verdict, parsed, data,
+                                            ingress_port)
+            self.perf.cache_misses += 1
+        return self._execute(parsed, data, ingress_port, key)
+
+    def process_many(
+        self, packets: Sequence, ingress_port: int = 0
+    ) -> List[SwitchResult]:
+        """Batched processing: compile once, replay the whole trace, time it.
+
+        Entries are raw ``bytes`` (using ``ingress_port``) or
+        ``(bytes, port)`` tuples for per-packet ingress ports.  State
+        accumulates across the batch exactly as in per-packet
+        :meth:`process` calls; only the per-run setup (match-structure
+        compilation) and the wall-clock accounting differ.
+        """
+        self.warm_caches()
+        process = self.process
+        results: List[SwitchResult] = []
+        started = perf_counter()
+        for entry in packets:
+            if isinstance(entry, tuple):
+                data, port = entry
+            else:
+                data, port = entry, ingress_port
+            results.append(process(data, port))
+        self.perf.elapsed_seconds += perf_counter() - started
+        self.perf.timed_packets += len(results)
+        return results
+
+    def process_trace(
+        self, packets: Sequence, ingress_port: int = 0
+    ) -> List[SwitchResult]:
+        """Process a whole trace in order (alias of :meth:`process_many`)."""
+        return self.process_many(packets, ingress_port)
+
+    # ------------------------------------------------------------------
+    def _parse(self, data: bytes) -> ParsedPacket:
+        """Plan-based :func:`~repro.sim.parser_engine.parse_packet`.
+
+        Identical semantics; the parse graph, header codecs, and byte
+        widths are resolved once in ``__init__`` instead of per packet.
+        """
+        states = self._parse_states
+        if states is None:
+            raise SimulationError(
+                f"program {self.program.name!r} has no parser; "
+                "cannot parse packets"
+            )
+        headers: Dict[str, Dict[str, int]] = {}
+        valid: Set[str] = set()
+        spans: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        length = len(data)
+        state_name = self._parse_start
+        while state_name != ACCEPT:
+            extracts, select, transitions, default = states[state_name]
+            for header_name, codec, byte_width in extracts:
+                end = offset + byte_width
+                if end > length:
+                    raise SimulationError(
+                        f"packet too short: state {state_name!r} needs "
+                        f"{byte_width} bytes for {header_name!r}, "
+                        f"{length - offset} remain"
+                    )
+                headers[header_name] = codec.unpack_at(data, offset)
+                valid.add(header_name)
+                spans[header_name] = (offset, end)
+                offset = end
+            if select is None:
+                state_name = default
+            else:
+                if select.header not in valid:
+                    raise SimulationError(
+                        f"parser state {state_name!r} selects on "
+                        f"{select.path!r} before extracting "
+                        f"{select.header!r}"
+                    )
+                value = headers[select.header][select.field]
+                state_name = transitions.get(value, default)
+        for name, field_names in self._auto_valid:
+            if name not in valid:
+                headers[name] = dict.fromkeys(field_names, 0)
+                valid.add(name)
+        return ParsedPacket(
+            headers=headers, valid=valid, payload=data[offset:], spans=spans
+        )
+
+    def _flow_key(
+        self, parsed: ParsedPacket, ingress_port: int
+    ) -> FlowKey:
+        """(port, match-relevant field values, valid set) for one packet."""
+        return (
+            ingress_port,
+            self._key_extract(parsed.headers),
+            frozenset(parsed.valid),
+        )
+
+    def _replay_verdict(
+        self,
+        verdict: FlowVerdict,
+        parsed: ParsedPacket,
+        data: bytes,
+        ingress_port: int,
+    ) -> SwitchResult:
+        """Apply a cached delta to a fresh packet's own parsed headers."""
+        headers = parsed.headers
+        valid = parsed.valid
+        # A fresh parse never contains metadata headers, so install them
+        # unconditionally (always valid, zeroed — dicts filled by writes).
+        for name in self._metadata_names:
+            valid.add(name)
+            headers[name] = {}
+        headers[STANDARD_METADATA]["ingress_port"] = (
+            ingress_port & self._ingress_mask
+        )
+        for header in verdict.removed:
+            valid.discard(header)
+            headers.pop(header, None)
+        for header in verdict.added:
+            valid.add(header)
+        for header, field_name, value in verdict.writes:
+            fields = headers.get(header)
+            if fields is None:
+                fields = headers[header] = {}
+            fields[field_name] = value
+        # Deparse fast path: a valid header the delta never touched is
+        # bit-identical to its slice of the incoming packet (pack∘unpack
+        # is the identity for byte-aligned headers), so emit the slice;
+        # only dirty, padded, or parser-less headers are re-packed.
+        dirty = verdict.dirty
+        spans = parsed.spans
+        chunks: List[bytes] = []
+        for name, codec in self._deparse_plan:
+            if name in valid:
+                if name not in dirty and codec.pad == 0:
+                    span = spans.get(name)
+                    if span is not None:
+                        chunks.append(data[span[0]:span[1]])
+                        continue
+                chunks.append(codec.pack_trusted(headers[name]))
+        chunks.append(parsed.payload)
+        output = b"".join(chunks)
+        index = self._packet_count
+        self._packet_count += 1
+        if verdict.to_controller:
+            self.controller_queue.append(
+                ControllerPacket(
+                    index=index,
+                    reason=verdict.controller_reason,
+                    data=output,
+                )
+            )
+        return SwitchResult(
+            index=index,
+            input_bytes=data,
+            output_bytes=output,
+            headers=headers,
+            valid=valid,
+            steps=list(verdict.steps),
+            egress_port=verdict.egress_port,
+            dropped=verdict.dropped,
+            to_controller=verdict.to_controller,
+            controller_reason=verdict.controller_reason,
+        )
+
+    def _execute(
+        self,
+        parsed: ParsedPacket,
+        data: bytes,
+        ingress_port: int,
+        key: Optional[FlowKey],
+    ) -> SwitchResult:
+        """The full interpreter path (also the flow-cache fill path)."""
         phv = Phv(self.program, parsed.headers, parsed.valid)
-        phv.write(FieldRef(STANDARD_METADATA, "ingress_port"), ingress_port)
+        phv.write(_INGRESS_PORT, ingress_port)
+        initial_valid: Optional[frozenset] = None
+        write_log: Optional[Set[Tuple[str, str]]] = None
+        if key is not None:
+            initial_valid = frozenset(phv.valid)
+            write_log = set()
+            phv.write_log = write_log
+        self._packet_touched_register = False
+
         steps: List[ExecutionStep] = []
         self._run_control(self.program.ingress, phv, steps)
 
         # The egress pipeline runs for packets the traffic manager
         # actually emits: neither dropped nor punted to the controller.
         if not (
-            phv.read(FieldRef(STANDARD_METADATA, "drop_flag"))
-            or phv.read(FieldRef(STANDARD_METADATA, "to_controller"))
+            phv.read(_DROP_FLAG)
+            or phv.read(_TO_CONTROLLER)
         ):
             self._run_control(self.program.egress, phv, steps)
 
-        egress = phv.read(FieldRef(STANDARD_METADATA, "egress_port"))
-        dropped = bool(phv.read(FieldRef(STANDARD_METADATA, "drop_flag")))
-        to_ctrl = bool(phv.read(FieldRef(STANDARD_METADATA, "to_controller")))
-        reason = phv.read(FieldRef(STANDARD_METADATA, "controller_reason"))
+        egress = phv.read(_EGRESS_PORT)
+        dropped = bool(phv.read(_DROP_FLAG))
+        to_ctrl = bool(phv.read(_TO_CONTROLLER))
+        reason = phv.read(_CONTROLLER_REASON)
 
         packet_valid = {
             h for h in phv.valid if not self.program.headers[h].metadata
@@ -122,6 +425,29 @@ class BehavioralSwitch:
             self.controller_queue.append(
                 ControllerPacket(index=index, reason=reason, data=output)
             )
+
+        if key is not None:
+            if self._packet_touched_register:
+                # The register-invalidation rule: a stateful traversal is
+                # never memoized, and conservatively flushes prior
+                # verdicts as well.
+                self._flow_cache.clear()
+                self.perf.cache_invalidations += 1
+            else:
+                verdict = build_verdict(
+                    steps=steps,
+                    write_log=write_log,
+                    initial_valid=initial_valid,
+                    final_valid=phv.valid,
+                    final_headers=phv.headers,
+                    egress_port=egress,
+                    dropped=dropped,
+                    to_controller=to_ctrl,
+                    controller_reason=reason,
+                )
+                if self._flow_cache.put(key, verdict):
+                    self.perf.cache_evictions += 1
+
         return SwitchResult(
             index=index,
             input_bytes=data,
@@ -134,23 +460,6 @@ class BehavioralSwitch:
             to_controller=to_ctrl,
             controller_reason=reason,
         )
-
-    def process_trace(
-        self, packets: Sequence, ingress_port: int = 0
-    ) -> List[SwitchResult]:
-        """Process a whole trace in order (state accumulates).
-
-        Entries are raw ``bytes`` (using ``ingress_port``) or
-        ``(bytes, port)`` tuples for per-packet ingress ports.
-        """
-        results = []
-        for entry in packets:
-            if isinstance(entry, tuple):
-                data, port = entry
-            else:
-                data, port = entry, ingress_port
-            results.append(self.process(data, port))
-        return results
 
     # ------------------------------------------------------------------
     def _run_control(
@@ -176,37 +485,52 @@ class BehavioralSwitch:
             return
         raise SimulationError(f"unknown control node {node!r}")
 
+    def _compiled_table(self, table_name: str) -> CompiledTable:
+        compiled = self._compiled_tables.get(table_name)
+        if compiled is None:
+            table = self.program.tables[table_name]
+            widths = [self.program.field_width(k.field) for k in table.keys]
+            self._key_widths[table_name] = widths
+            compiled = compile_table(
+                table, widths, self.config.entries_for(table_name)
+            )
+            self._compiled_tables[table_name] = compiled
+        return compiled
+
     def _apply_table(
         self, table_name: str, phv: Phv, steps: List[ExecutionStep]
     ) -> bool:
         table = self.program.tables[table_name]
+        lookups = self.perf.table_lookups
+        lookups[table_name] = lookups.get(table_name, 0) + 1
         entry = None
         # A key whose header is invalid cannot match any entry.
         keys_valid = all(phv.is_valid(k.field.header) for k in table.keys)
         if table.keys and keys_valid:
-            key_widths = [
-                self.program.field_width(k.field) for k in table.keys
-            ]
             key_values = [phv.read(k.field) for k in table.keys]
-            entry = lookup(
-                table,
-                key_widths,
-                key_values,
-                self.config.entries_for(table_name),
-            )
+            if self.config.enable_compiled_tables:
+                entry = self._compiled_table(table_name).lookup(key_values)
+            else:
+                key_widths = [
+                    self.program.field_width(k.field) for k in table.keys
+                ]
+                entry = lookup(
+                    table,
+                    key_widths,
+                    key_values,
+                    self.config.entries_for(table_name),
+                )
         if entry is not None:
-            action = self.program.actions[entry.action]
-            execute_action(
-                self.program, action, entry.action_args, phv, self.state
-            )
-            steps.append(
-                ExecutionStep(table=table_name, action=entry.action, hit=True)
-            )
-            return True
-        default_name, default_args = self.config.default_for(table)
-        action = self.program.actions[default_name]
-        execute_action(self.program, action, default_args, phv, self.state)
+            action_name, action_args = entry.action, entry.action_args
+            hit = True
+        else:
+            action_name, action_args = self.config.default_for(table)
+            hit = False
+        if action_name in self._analysis.stateful_actions:
+            self._packet_touched_register = True
+        action = self.program.actions[action_name]
+        execute_action(self.program, action, action_args, phv, self.state)
         steps.append(
-            ExecutionStep(table=table_name, action=default_name, hit=False)
+            ExecutionStep(table=table_name, action=action_name, hit=hit)
         )
-        return False
+        return hit

@@ -1,0 +1,326 @@
+"""Profiling-engine semantics: the flow-result cache, compiled match
+structures, and batched replay must be invisible to every profile.
+
+Pins the guarantees the engine's docstrings promise:
+
+* For every bundled program, profiling with the cache + compiled tables
+  on yields a :class:`~repro.core.profiler.Profile` with
+  ``same_behavior_as`` the uncached reference run — and the per-packet
+  :class:`~repro.sim.switch.SwitchResult` stream is bit-identical.
+* Stateful traversals (anything that reads or writes a register) are
+  never served from the cache, and executing one flushes it (the
+  conservative register-invalidation rule).
+* ``reset_state`` clears the cache and the perf counters along with the
+  registers; config mutations through the ``RuntimeConfig`` API
+  invalidate cached verdicts; the capacity bound actually evicts.
+* :class:`~repro.sim.match.CompiledTable` reproduces the reference
+  :func:`~repro.sim.match.lookup` ranking bit-for-bit on randomized
+  tables of every strategy shape (exact / single-LPM / ternary / mixed).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.profiler import Profiler
+from repro.p4.expressions import FieldRef
+from repro.p4.tables import MatchKind, Table, TableKey
+from repro.programs import (
+    enterprise,
+    example_firewall,
+    failure_detection,
+    nat_gre,
+    sourceguard,
+    telemetry,
+)
+from repro.sim import BehavioralSwitch
+from repro.sim.match import compile_table, lookup
+from repro.sim.runtime import TableEntry
+from repro.traffic.generators import dns_stream, udp_background
+
+#: Every bundled program module (build_program / runtime_config /
+#: make_trace).  Trace sizes are scaled down from the modules' defaults —
+#: equivalence holds packet by packet, so a shorter prefix of the same
+#: deterministic trace loses no coverage.
+PROGRAM_MODULES = {
+    "example_firewall": example_firewall,
+    "nat_gre": nat_gre,
+    "sourceguard": sourceguard,
+    "failure_detection": failure_detection,
+    "telemetry": telemetry,
+    "enterprise": enterprise,
+}
+EQUIVALENCE_TRACE_SIZE = 1500
+
+
+def _fresh_config(module, program):
+    """Each call returns an independent config (sourceguard's and
+    enterprise's need the program for hashed register inits)."""
+    try:
+        return module.runtime_config(program)
+    except TypeError:
+        return module.runtime_config()
+
+
+def _uncached(config):
+    config.enable_flow_cache = False
+    config.enable_compiled_tables = False
+    return config
+
+
+def _result_fingerprint(result):
+    return (
+        result.output_bytes,
+        result.headers,
+        result.valid,
+        result.steps,
+        result.forwarding_decision(),
+        result.controller_reason,
+    )
+
+
+# ----------------------------------------------------------------------
+# Equivalence: cache on == cache off, for every bundled program.
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAM_MODULES))
+def test_cached_profile_same_behavior_as_uncached(name):
+    module = PROGRAM_MODULES[name]
+    program = module.build_program()
+    trace = module.make_trace(EQUIVALENCE_TRACE_SIZE)
+
+    cached = Profiler(program, _fresh_config(module, program)).profile(trace)
+    uncached = Profiler(
+        program, _uncached(_fresh_config(module, program))
+    ).profile(trace)
+
+    assert cached.same_behavior_as(uncached), cached.behavior_diff(uncached)
+    assert uncached.same_behavior_as(cached)
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAM_MODULES))
+def test_cached_results_bit_identical_to_uncached(name):
+    """Stronger than profile equality: the full per-packet observable
+    stream (bytes out, steps, headers, forwarding) matches."""
+    module = PROGRAM_MODULES[name]
+    program = module.build_program()
+    trace = module.make_trace(600)
+
+    engine = BehavioralSwitch(program, _fresh_config(module, program))
+    reference = BehavioralSwitch(
+        program, _uncached(_fresh_config(module, program))
+    )
+    engine_results = engine.process_many(trace)
+    reference_results = reference.process_many(trace)
+
+    assert len(engine_results) == len(reference_results)
+    for eng, ref in zip(engine_results, reference_results):
+        assert _result_fingerprint(eng) == _result_fingerprint(ref)
+
+
+# ----------------------------------------------------------------------
+# The register-invalidation rule.
+
+
+def test_stateful_flows_never_served_from_cache():
+    """A pure-DNS trace walks the Count-Min Sketch on every packet; the
+    cache must sit out entirely, yet the threshold drops stay exact."""
+    program = example_firewall.build_program()
+    src = example_firewall.HEAVY_DNS_SRC
+    dst = example_firewall.HEAVY_DNS_DST
+    trace = dns_stream(src, dst, example_firewall.DNS_QUERY_THRESHOLD + 72)
+
+    engine = BehavioralSwitch(program, example_firewall.runtime_config())
+    engine_results = engine.process_many(trace)
+    reference = BehavioralSwitch(
+        program, _uncached(example_firewall.runtime_config())
+    )
+    reference_results = reference.process_many(trace)
+
+    # Every packet executed; nothing was memoized, nothing replayed.
+    assert engine.perf.cache_hits == 0
+    assert engine.perf.cache_misses == len(trace)
+    assert engine.perf.cache_invalidations == len(trace)
+
+    # State still advanced exactly: early queries pass, the flow is
+    # dropped once its sketch estimate reaches the threshold, and the
+    # drop pattern matches the uncached interpreter packet for packet.
+    assert not engine_results[0].dropped
+    assert engine_results[-1].dropped
+    assert [r.dropped for r in engine_results] == [
+        r.dropped for r in reference_results
+    ]
+
+
+def test_stateful_traversal_flushes_cached_verdicts():
+    """Stateless verdicts are memoized; one register-touching packet
+    flushes them, so the next stateless packet re-executes."""
+    program = example_firewall.build_program()
+    switch = BehavioralSwitch(program, example_firewall.runtime_config())
+    rng = random.Random(3)
+    stateless = udp_background(1, rng, dst_ports=(4000,))[0]
+    dns = dns_stream(0x0A000001, 0xC0A80001, 1)[0]
+
+    switch.process(stateless)
+    switch.process(stateless)
+    assert switch.perf.cache_hits == 1  # second packet replayed
+
+    switch.process(dns)
+    assert switch.perf.cache_invalidations == 1
+
+    switch.process(stateless)
+    assert switch.perf.cache_hits == 1  # flush forced a re-execution
+    assert switch.perf.cache_misses == 3
+
+
+def test_cache_disabled_never_engages():
+    program = example_firewall.build_program()
+    switch = BehavioralSwitch(
+        program, _uncached(example_firewall.runtime_config())
+    )
+    switch.process_many(example_firewall.make_stateless_trace(50))
+    assert switch.perf.cache_hits == 0
+    assert switch.perf.cache_misses == 0
+    assert switch.perf.cache_hit_rate() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: reset, config mutation, capacity.
+
+
+def test_reset_state_clears_flow_cache_and_perf_counters():
+    program = example_firewall.build_program()
+    switch = BehavioralSwitch(program, example_firewall.runtime_config())
+    trace = example_firewall.make_stateless_trace(100, flows=8)
+
+    switch.process_many(trace)
+    assert switch.perf.packets == len(trace)
+    assert switch.perf.cache_hits > 0
+
+    switch.reset_state()
+    assert switch.perf.packets == 0
+    assert switch.perf.cache_hits == 0
+    assert switch.perf.elapsed_seconds == 0.0
+    assert len(switch._flow_cache) == 0
+
+    # First packet after reset must miss — no verdict survived.
+    first = trace[0] if isinstance(trace[0], bytes) else trace[0][0]
+    switch.process(first)
+    assert switch.perf.cache_hits == 0
+    assert switch.perf.cache_misses == 1
+
+
+def test_config_mutation_invalidates_cached_verdicts():
+    """A rule installed after a verdict was cached must take effect on
+    the very next packet of that flow."""
+    program = example_firewall.build_program()
+    config = example_firewall.runtime_config()
+    switch = BehavioralSwitch(program, config)
+    rng = random.Random(5)
+    packet = udp_background(1, rng, dst_ports=(4000,))[0]
+
+    before = switch.process(packet)
+    assert not before.dropped
+    switch.process(packet)
+    assert switch.perf.cache_hits == 1  # verdict is cached
+
+    config.add_entry("ACL_UDP", [4000], "acl_udp_drop")
+    after = switch.process(packet)
+    assert after.dropped  # a stale cached verdict would forward it
+
+
+def test_flow_cache_capacity_bound_evicts():
+    program = example_firewall.build_program()
+    config = example_firewall.runtime_config()
+    config.flow_cache_capacity = 4
+    switch = BehavioralSwitch(program, config)
+
+    switch.process_many(example_firewall.make_stateless_trace(400, flows=64))
+    assert switch.perf.cache_evictions > 0
+    assert len(switch._flow_cache) <= 4
+
+
+# ----------------------------------------------------------------------
+# CompiledTable vs the reference lookup() scan.
+
+_KINDS = {
+    "exact": MatchKind.EXACT,
+    "lpm": MatchKind.LPM,
+    "ternary": MatchKind.TERNARY,
+}
+
+#: One shape per CompiledTable strategy plus the awkward corners:
+#: multi-key exact, exact+LPM (single-LPM fast path), multi-LPM and
+#: LPM+ternary (both forced onto the premasked scan).
+TABLE_SHAPES = {
+    "exact": (("exact", 16),),
+    "multi_exact": (("exact", 8), ("exact", 16)),
+    "single_lpm": (("lpm", 32),),
+    "exact_plus_lpm": (("exact", 8), ("lpm", 32)),
+    "multi_lpm": (("lpm", 16), ("lpm", 16)),
+    "ternary": (("ternary", 16),),
+    "mixed": (("exact", 8), ("lpm", 32), ("ternary", 16)),
+}
+
+
+def _random_entry(rng, shape):
+    match = []
+    for kind_name, width in shape:
+        top = (1 << width) - 1
+        if kind_name == "exact":
+            match.append(rng.randint(0, top))
+        elif kind_name == "lpm":
+            match.append((rng.randint(0, top), rng.choice(
+                [0, rng.randint(1, width), width]
+            )))
+        else:
+            match.append((rng.randint(0, top), rng.randint(0, top)))
+    return TableEntry(tuple(match), "act", (), priority=rng.randint(0, 7))
+
+
+def _probe_near_entry(rng, shape, entry):
+    """A key-value tuple biased to match ``entry`` (free bits random)."""
+    values = []
+    for (kind_name, width), spec in zip(shape, entry.match):
+        top = (1 << width) - 1
+        if kind_name == "exact":
+            values.append(spec)
+        elif kind_name == "lpm":
+            value, plen = spec
+            mask = (((1 << plen) - 1) << (width - plen)) if plen else 0
+            values.append((value & mask) | (rng.randint(0, top) & ~mask))
+        else:
+            value, mask = spec
+            values.append((value & mask) | (rng.randint(0, top) & ~mask))
+    return tuple(values)
+
+
+@pytest.mark.parametrize("shape_name", sorted(TABLE_SHAPES))
+def test_compiled_table_matches_reference_lookup(shape_name):
+    shape = TABLE_SHAPES[shape_name]
+    rng = random.Random(hash(shape_name) & 0xFFFF)
+    keys = tuple(
+        TableKey(FieldRef("h", f"f{i}"), _KINDS[kind_name])
+        for i, (kind_name, _width) in enumerate(shape)
+    )
+    widths = [width for _kind, width in shape]
+    table = Table(name=shape_name, keys=keys, actions=("act",), size=128)
+
+    for _round in range(5):
+        entries = [_random_entry(rng, shape) for _ in range(40)]
+        compiled = compile_table(table, widths, entries)
+        probes = [
+            tuple(rng.randint(0, (1 << w) - 1) for w in widths)
+            for _ in range(60)
+        ] + [
+            _probe_near_entry(rng, shape, rng.choice(entries))
+            for _ in range(60)
+        ]
+        for values in probes:
+            expected = lookup(table, widths, values, entries)
+            assert compiled.lookup(values) == expected, (
+                f"{shape_name}: compiled disagrees with reference scan "
+                f"for key {values}"
+            )
