@@ -1,0 +1,252 @@
+"""End-to-end pipeline benchmark: pass framework vs seed orchestrator.
+
+The pass-manager pipeline (ISSUE 3) routes every candidate probe through
+one memoizing compile/profile session.  This bench runs the full P2GO
+loop on the Ex. 1 firewall twice — once through the seed ``if/elif``
+orchestrator (kept verbatim in :mod:`repro.core.seed_pipeline`, counting
+through an uncached session) and once through the new
+:class:`~repro.core.passes.PassManager` — checks the results are
+equivalent, and reports wall time plus compile/profile invocation
+counts.  The committed ``BENCH_pipeline.json`` at the repo root records
+both; refresh it with::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --write-baseline
+
+CI runs the dependency-free quick mode instead::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --quick
+
+which re-checks seed/new equivalence, asserts the invocation counts
+still match the committed baseline exactly (they are deterministic),
+and fails if the optimized pipeline's wall time regressed more than 30%.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover — quick mode runs without pytest
+    pytest = None
+
+from repro.core.pipeline import P2GO
+from repro.core.seed_pipeline import run_seed
+from repro.core.session import config_fingerprint, program_fingerprint
+from repro.programs import example_firewall as fw
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_pipeline.json"
+)
+#: Quick mode fails when the optimized pipeline's wall time exceeds the
+#: committed baseline by more than 30% (seconds / floor).
+REGRESSION_FLOOR = 0.7
+#: Trace sizes for the committed baseline; quick mode compares only
+#: against the size it reruns (the probe count is trace-independent but
+#: per-replay cost is not, so sizes must match).
+FULL_PACKETS = 4000
+QUICK_PACKETS = 2000
+ROUNDS = 3
+
+
+def _equivalent(new, seed) -> bool:
+    return (
+        program_fingerprint(new.optimized_program)
+        == program_fingerprint(seed.optimized_program)
+        and new.stage_history() == seed.stage_history()
+        and new.offloaded_tables == seed.offloaded_tables
+        and config_fingerprint(new.final_config)
+        == config_fingerprint(seed.final_config)
+    )
+
+
+def measure_pipeline(total_packets: int = FULL_PACKETS, rounds: int = ROUNDS):
+    """Run the seed and pass-manager pipelines end to end.
+
+    Each orchestrator runs ``rounds`` times on fresh inputs and reports
+    the fastest round (interpreter warm-up otherwise dominates).
+    Returns a JSON-ready dict with wall times, the session counters of
+    both runs, and the equivalence verdict.
+    """
+
+    def build_inputs():
+        return (
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(total_packets),
+            fw.TARGET,
+        )
+
+    def best_of(run):
+        best_seconds = None
+        result = None
+        for _round in range(rounds):
+            program, config, trace, target = build_inputs()
+            t0 = time.perf_counter()
+            out = run(program, config, trace, target)
+            seconds = time.perf_counter() - t0
+            if best_seconds is None or seconds < best_seconds:
+                best_seconds = seconds
+            if result is None:
+                result = out
+        return result, best_seconds
+
+    seed, seed_seconds = best_of(run_seed)
+    new, new_seconds = best_of(
+        lambda program, config, trace, target: P2GO(
+            program, config, trace, target
+        ).run()
+    )
+
+    seed_counts = seed.session_counters.as_dict()
+    new_counts = new.session_counters.as_dict()
+    executions = (
+        new_counts["compile_executions"] + new_counts["profile_executions"]
+    )
+    seed_executions = (
+        seed_counts["compile_executions"] + seed_counts["profile_executions"]
+    )
+    return {
+        "program": new.original_program.name,
+        "trace": f"firewall x{total_packets}",
+        "packets": total_packets,
+        "phases": [2, 3, 4],
+        "equivalent": _equivalent(new, seed),
+        "seed_seconds": round(seed_seconds, 3),
+        "pipeline_seconds": round(new_seconds, 3),
+        "speedup": round(seed_seconds / new_seconds, 2),
+        "seed_counters": seed_counts,
+        "pipeline_counters": new_counts,
+        "execution_reduction": round(1 - executions / seed_executions, 4),
+    }
+
+
+def render_pipeline(measured: dict) -> str:
+    seed = measured["seed_counters"]
+    new = measured["pipeline_counters"]
+    return "\n".join([
+        f"P2GO pipeline, seed orchestrator vs pass manager "
+        f"({measured['trace']})",
+        f"  seed:           {measured['seed_seconds']:>9.2f} s   "
+        f"{seed['compile_executions']:>3d} compiles  "
+        f"{seed['profile_executions']:>3d} replays",
+        f"  pass manager:   {measured['pipeline_seconds']:>9.2f} s   "
+        f"{new['compile_executions']:>3d} compiles  "
+        f"{new['profile_executions']:>3d} replays",
+        f"  speedup:        {measured['speedup']:>9.2f}x",
+        f"  fewer runs:     {measured['execution_reduction']:>9.1%}",
+        f"  equivalent:     {str(measured['equivalent']):>9s}",
+    ])
+
+
+def test_pipeline_bench(record):
+    """The pass-framework acceptance bar: equivalent P2GOResult with
+    strictly fewer compile/profile executions than the seed."""
+    measured = measure_pipeline(FULL_PACKETS)
+    record("pipeline_bench", render_pipeline(measured))
+
+    assert measured["equivalent"]
+    assert (
+        measured["pipeline_counters"]["compile_executions"]
+        < measured["seed_counters"]["compile_executions"]
+    )
+    assert (
+        measured["pipeline_counters"]["profile_executions"]
+        < measured["seed_counters"]["profile_executions"]
+    )
+
+    if os.environ.get("P2GO_WRITE_BASELINE") == "1":
+        write_baseline()
+
+
+def write_baseline() -> dict:
+    """Measure both trace sizes and refresh BENCH_pipeline.json."""
+    baseline = {
+        "full": measure_pipeline(FULL_PACKETS),
+        "quick": measure_pipeline(QUICK_PACKETS),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+# ----------------------------------------------------------------------
+# Quick mode: dependency-free CI gate (no pytest / pytest-benchmark).
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="End-to-end pipeline benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small trace; fail on non-equivalence, on invocation-count "
+        "drift, or on >30%% wall-time regression vs the committed "
+        "BENCH_pipeline.json",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh BENCH_pipeline.json with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        baseline = write_baseline()
+        print(render_pipeline(baseline["full"]))
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    measured = measure_pipeline(
+        QUICK_PACKETS if args.quick else FULL_PACKETS,
+        rounds=1 if args.quick else ROUNDS,
+    )
+    print(render_pipeline(measured))
+
+    if not measured["equivalent"]:
+        print(
+            "FAIL: pass-manager result differs from the seed orchestrator"
+        )
+        return 1
+    if (
+        measured["pipeline_counters"]["compile_executions"]
+        >= measured["seed_counters"]["compile_executions"]
+    ):
+        print("FAIL: memo cache no longer saves compile executions")
+        return 1
+
+    if args.quick:
+        if not BASELINE_PATH.exists():
+            print(f"FAIL: committed baseline {BASELINE_PATH} is missing")
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())["quick"]
+        for side in ("seed_counters", "pipeline_counters"):
+            if measured[side] != baseline[side]:
+                print(
+                    f"FAIL: {side} drifted from the committed baseline: "
+                    f"{measured[side]} != {baseline[side]}"
+                )
+                return 1
+        ceiling = baseline["pipeline_seconds"] / REGRESSION_FLOOR
+        print(
+            f"  baseline:       {baseline['pipeline_seconds']:>9.2f} s "
+            f"(ceiling {ceiling:.2f})"
+        )
+        if measured["pipeline_seconds"] > ceiling:
+            print(
+                "FAIL: pipeline wall time regressed more than 30% vs the "
+                "committed baseline"
+            )
+            return 1
+        print("OK: counters match and wall time within 30% of baseline")
+        return 0
+
+    print("OK: equivalent result with fewer executions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,7 +31,9 @@ __version__ = "1.0.0"
 _EXPORTS = {
     "BehavioralSwitch": "repro.sim",
     "CompileResult": "repro.target",
+    "OptimizationContext": "repro.core",
     "P2GO": "repro.core",
+    "PassManager": "repro.core",
     "P2GOResult": "repro.core",
     "Profile": "repro.core",
     "Profiler": "repro.core",

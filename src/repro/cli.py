@@ -11,8 +11,10 @@ Commands:
   on its own; prints the profiling engine's perf counters (packets/s,
   flow-cache hit rate).  ``--no-cache`` forces the uncached reference
   interpreter.
-* ``optimize PROGRAM --config CFG --trace PCAP`` — the full pipeline;
-  writes the optimized program (DSL) and the observation report.
+* ``optimize PROGRAM --config CFG --trace PCAP [--no-memo]`` — the full
+  pipeline; writes the optimized program (DSL) and the observation
+  report (which includes the session's compile/profile invocation
+  counters).  ``--no-memo`` disables the session memo cache.
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
 
 Runtime-config JSON schema::
@@ -150,6 +152,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         target,
         phases=phases,
         max_redirect_fraction=args.max_redirect,
+        memoize=not args.no_memo,
     ).run()
     print(render_report(result))
     if args.output:
@@ -233,6 +236,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="comma-separated phase order (default 2,3,4)")
     p_opt.add_argument("--max-redirect", type=float, default=0.10,
                        help="controller-load budget (default 0.10)")
+    p_opt.add_argument(
+        "--no-memo",
+        action="store_true",
+        help="disable the session's compile/profile memo cache (every "
+        "candidate probe recompiles and re-replays the trace)",
+    )
     p_opt.add_argument("-o", "--output", help="write optimized DSL here")
     p_opt.add_argument("--report", help="write the report here")
     p_opt.set_defaults(func=cmd_optimize)

@@ -25,17 +25,26 @@ _EXPORTS = {
     "Observation": "observations",
     "ObservationKind": "observations",
     "ObservationLog": "observations",
+    "DependencyRemovalPass": "phase_dependencies",
+    "MemoryReductionPass": "phase_memory",
+    "OffloadPass": "phase_offload",
+    "OptimizationContext": "session",
+    "OptimizationPass": "passes",
     "P2GO": "pipeline",
     "P2GOResult": "pipeline",
+    "PassManager": "passes",
+    "PassResult": "passes",
     "Phase": "observations",
-    "PhaseOutcome": "pipeline",
+    "PhaseOutcome": "passes",
     "Profile": "profiler",
     "Profiler": "profiler",
     "ProfilingRun": "profiler",
+    "SessionCounters": "session",
     "instrument": "instrument",
     "optimize": "pipeline",
     "profile_program": "profiler",
     "render_report": "report",
+    "run_seed": "seed_pipeline",
     "stage_table": "report",
     "summary_line": "report",
 }

@@ -24,10 +24,23 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.instrument import instrument
 from repro.core.profiler import Profile
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only import, no cycle
+    from repro.core.session import OptimizationContext
 from repro.p4.program import Program
 from repro.sim.runtime import RuntimeConfig
 from repro.sim.switch import BehavioralSwitch, SwitchResult
@@ -62,9 +75,16 @@ class OnlineProfiler:
         window: int = 1000,
         hit_rate_tolerance: float = 0.10,
         alert_callback: Optional[AlertCallback] = None,
+        session: Optional["OptimizationContext"] = None,
     ):
         if window <= 0:
             raise ValueError("window must be positive")
+        if baseline is None and session is not None:
+            # Share the optimization run's compile/profile session: the
+            # baseline is the (memoized) profile of this program/config
+            # on the session's trace — free when P2GO already computed
+            # it, replayed once and cached otherwise.
+            baseline = session.profile(program, config)
         self._instrumented = instrument(program)
         self._switch = BehavioralSwitch(
             self._instrumented.program,

@@ -1,0 +1,169 @@
+"""The pass framework: Fig. 2's loop as first-class passes.
+
+The paper's optimization loop — profile, remove dependencies, reduce
+memory, offload — was a hard-coded ``if/elif`` chain in ``P2GO.run()``
+with one accept/observe/recompile block copied per phase.  Here each
+phase is an :class:`OptimizationPass`: a named object that inspects the
+shared :class:`~repro.core.session.OptimizationContext`, may *propose* a
+single candidate change on it, and reports what it saw as observations.
+The :class:`PassManager` owns the loop that used to be triplicated:
+
+1. run the pass (it proposes at most one change per round);
+2. log its observations, routing ``OPTIMIZATION`` ones through the
+   review hook;
+3. commit the proposal when accepted, roll it back when the programmer
+   vetoes it (a real state rollback on the session, §2.2's "selectively
+   accept or reject");
+4. repeat up to the pass's ``max_rounds``, then record the phase's
+   :class:`PhaseOutcome` — stage count, stage map, and the profiling
+   perf the phase's own replays cost (memo hits cost nothing and show up
+   as ``None``).
+
+Phase ordering stays a plain sequence of passes, so the paper's default
+(2, 3, 4) and the ablation reorderings are just different lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from repro.core.observations import (
+    Observation,
+    ObservationKind,
+    ObservationLog,
+    Phase,
+)
+from repro.core.session import OptimizationContext
+from repro.sim.perf import PerfCounters
+
+#: Review hook: receives each optimization observation, returns True to
+#: accept.  The default accepts everything (batch mode).
+ReviewHook = Callable[[Observation], bool]
+
+
+@dataclass
+class PhaseOutcome:
+    """Stage count after a phase (Table 2's rows), plus what the phase's
+    own profiling replays cost."""
+
+    phase: Phase
+    stages: int
+    stage_map: List[List[str]]
+    #: Merged perf counters of the trace replays this phase triggered
+    #: (None when the phase ran no new replay — every profile it asked
+    #: for was a session memo hit).
+    profiling_perf: Optional[PerfCounters] = None
+
+
+@dataclass
+class PassResult:
+    """What one round of a pass did.
+
+    A pass that found an optimization proposes it on the session (via
+    :meth:`OptimizationContext.propose`) *before* returning, and sets
+    ``changed=True`` — the manager then commits or rolls the proposal
+    back depending on the review.  ``info`` carries pass-specific
+    extras (e.g. the offloaded table set).
+    """
+
+    changed: bool
+    observations: List[Observation] = dc_field(default_factory=list)
+    info: Dict[str, Any] = dc_field(default_factory=dict)
+
+
+@runtime_checkable
+class OptimizationPass(Protocol):
+    """One of Fig. 2's optimization phases, behind a uniform interface."""
+
+    #: Stable identifier (CLI/report labels).
+    name: str
+    #: The paper phase this pass implements.
+    phase: Phase
+    #: Upper bound on rounds the manager runs this pass per occurrence.
+    max_rounds: int
+
+    def run(self, ctx: OptimizationContext) -> PassResult:
+        """Inspect ``ctx``, propose at most one change, report it."""
+        ...
+
+
+class PassManager:
+    """Runs a sequence of passes over one optimization session."""
+
+    def __init__(
+        self,
+        ctx: OptimizationContext,
+        review_hook: Optional[ReviewHook] = None,
+        log: Optional[ObservationLog] = None,
+    ):
+        self.ctx = ctx
+        self.review_hook = review_hook
+        self.log = log if log is not None else ObservationLog()
+        #: Merged ``info`` of every pass round (later rounds win ties).
+        self.info: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def _accepted(self, obs: Observation) -> bool:
+        """Log one observation; route optimizations through the review
+        hook, recording a rejection observation on veto."""
+        self.log.add(obs)
+        if (
+            obs.kind is ObservationKind.OPTIMIZATION
+            and self.review_hook is not None
+        ):
+            accepted = self.review_hook(obs)
+            if not accepted:
+                self.log.add(
+                    Observation(
+                        phase=obs.phase,
+                        kind=ObservationKind.REJECTED,
+                        title=f"programmer rejected: {obs.title}",
+                        details="change rolled back at review",
+                    )
+                )
+            return accepted
+        return True
+
+    def run_pass(self, pass_: OptimizationPass) -> PhaseOutcome:
+        """Run one pass to quiescence (its ``max_rounds`` bound) and
+        record its outcome."""
+        self.ctx.start_perf_window()
+        for _round in range(max(1, pass_.max_rounds)):
+            step = pass_.run(self.ctx)
+            applied = False
+            for obs in step.observations:
+                if obs.kind is ObservationKind.OPTIMIZATION:
+                    if self._accepted(obs):
+                        applied = True
+                else:
+                    self.log.add(obs)
+            if not step.changed:
+                if self.ctx.in_transaction:  # defensive: nothing proposed
+                    self.ctx.rollback()
+                break
+            if not applied:
+                self.ctx.rollback()
+                break
+            self.ctx.commit()
+            self.info.update(step.info)
+        result = self.ctx.compile()
+        return PhaseOutcome(
+            phase=pass_.phase,
+            stages=result.stages_used,
+            stage_map=result.stage_map(),
+            profiling_perf=self.ctx.take_perf_window(),
+        )
+
+    def run(self, passes: Sequence[OptimizationPass]) -> List[PhaseOutcome]:
+        """The Fig. 2 loop: run every pass in order."""
+        return [self.run_pass(pass_) for pass_ in passes]

@@ -16,7 +16,7 @@ so no packet is orphaned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.dependencies import (
@@ -28,7 +28,9 @@ from repro.core.observations import (
     ObservationKind,
     Phase,
 )
+from repro.core.passes import PassResult
 from repro.core.profiler import Profile
+from repro.core.session import OptimizationContext
 from repro.exceptions import OptimizationError
 from repro.p4.control import (
     Apply,
@@ -354,3 +356,26 @@ def run_phase(
     return DependencyRemovalResult(
         program=program, removed=None, observations=observations
     )
+
+
+@dataclass
+class DependencyRemovalPass:
+    """Phase 2 as an :class:`~repro.core.passes.OptimizationPass`.
+
+    Each round removes at most one unmanifested dependency (the paper
+    removes one at a time to keep changes tractable); ``max_rounds``
+    bounds how many the manager lets through.
+    """
+
+    max_rounds: int = 8
+    name: str = dc_field(default="remove-dependencies", init=False)
+    phase: Phase = dc_field(default=Phase.REMOVE_DEPENDENCIES, init=False)
+
+    def run(self, ctx: OptimizationContext) -> PassResult:
+        step = run_phase(ctx.program, ctx.compile(), ctx.profile())
+        if step.removed is not None:
+            ctx.propose(program=step.program)
+        return PassResult(
+            changed=step.removed is not None,
+            observations=step.observations,
+        )

@@ -11,11 +11,13 @@ re-profile of the resized program is identical to the original profile.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dc_field
 from typing import Callable, List, Optional, Sequence
 
 from repro.core.observations import Observation, ObservationKind, Phase
-from repro.core.profiler import Profile, Profiler
+from repro.core.passes import PassResult
+from repro.core.profiler import Profile
+from repro.core.session import OptimizationContext
 from repro.p4.program import Program
 from repro.sim.runtime import RuntimeConfig
 from repro.target.compiler import compile_program
@@ -62,7 +64,13 @@ def _resized(program: Program, kind: ResourceKind, name: str, size: int) -> Prog
     return program.with_register_size(name, size)
 
 
-def _stages(program: Program, target: TargetModel) -> int:
+def _stages(
+    program: Program,
+    target: TargetModel,
+    session: Optional[OptimizationContext] = None,
+) -> int:
+    if session is not None:
+        return session.compile(program).stages_used
     return compile_program(program, target).stages_used
 
 
@@ -71,11 +79,12 @@ def find_candidates(
     target: TargetModel,
     profile: Profile,
     baseline_stages: Optional[int] = None,
+    session: Optional[OptimizationContext] = None,
 ) -> List[MemoryCandidate]:
     """Probe a 50% cut of every resource; keep the stage-saving ones,
     ordered lowest hit rate first (ties broken by control order)."""
     if baseline_stages is None:
-        baseline_stages = _stages(program, target)
+        baseline_stages = _stages(program, target, session)
     order = {
         name: i for i, name in enumerate(program.tables_in_control_order())
     }
@@ -85,7 +94,9 @@ def find_candidates(
         if table.size < 2 or not table.keys:
             continue
         stages = _stages(
-            program.with_table_size(table.name, table.size // 2), target
+            program.with_table_size(table.name, table.size // 2),
+            target,
+            session,
         )
         if stages < baseline_stages:
             candidates.append(
@@ -107,6 +118,7 @@ def find_candidates(
         stages = _stages(
             program.with_register_size(register.name, register.size // 2),
             target,
+            session,
         )
         if stages < baseline_stages:
             owner = owners[0]
@@ -132,6 +144,7 @@ def minimal_reduction(
     candidate: MemoryCandidate,
     baseline_stages: int,
     probe_counter: Optional[List[int]] = None,
+    session: Optional[OptimizationContext] = None,
 ) -> int:
     """Binary-search the largest size that still saves a stage (§3.3:
     "binary search allows P2GO to find the minimum reduction without a
@@ -141,7 +154,9 @@ def minimal_reduction(
     while hi - lo > 1:
         mid = (lo + hi) // 2
         stages = _stages(
-            _resized(program, candidate.kind, candidate.name, mid), target
+            _resized(program, candidate.kind, candidate.name, mid),
+            target,
+            session,
         )
         if probe_counter is not None:
             probe_counter.append(mid)
@@ -159,13 +174,16 @@ def linear_minimal_reduction(
     baseline_stages: int,
     step: int = 1,
     probe_counter: Optional[List[int]] = None,
+    session: Optional[OptimizationContext] = None,
 ) -> int:
     """Linear-scan baseline for the ablation bench: walk down from the
     original size until a stage is saved."""
     size = candidate.original_size - step
     while size > candidate.original_size // 2:
         stages = _stages(
-            _resized(program, candidate.kind, candidate.name, size), target
+            _resized(program, candidate.kind, candidate.name, size),
+            target,
+            session,
         )
         if probe_counter is not None:
             probe_counter.append(size)
@@ -192,17 +210,25 @@ def run_phase(
     target: TargetModel,
     profile: Profile,
     candidate_order: Optional[Callable[[List[MemoryCandidate]], List[MemoryCandidate]]] = None,
+    session: Optional[OptimizationContext] = None,
 ) -> MemoryReductionResult:
     """Try candidates until one resize passes verification.
 
     ``candidate_order`` lets the ablation bench override the paper's
-    lowest-hit-rate-first policy.
+    lowest-hit-rate-first policy.  All candidate probing (the halving
+    probes, the binary search, the verification re-profiles) goes
+    through ``session`` when one is given; standalone calls get a
+    private memoizing session so repeated probes of the same size are
+    compiled once.
     """
+    if session is None:
+        session = OptimizationContext(program, config, trace, target)
     observations: List[Observation] = []
     rejected: List[MemoryReduction] = []
-    baseline_stages = _stages(program, target)
+    baseline_stages = _stages(program, target, session)
     candidates = find_candidates(
-        program, target, profile, baseline_stages=baseline_stages
+        program, target, profile, baseline_stages=baseline_stages,
+        session=session,
     )
     if candidate_order is not None:
         candidates = candidate_order(list(candidates))
@@ -224,15 +250,15 @@ def run_phase(
 
     for candidate in candidates:
         new_size = minimal_reduction(
-            program, target, candidate, baseline_stages
+            program, target, candidate, baseline_stages, session=session
         )
         resized = _resized(program, candidate.kind, candidate.name, new_size)
-        new_profile = Profiler(resized, config).profile(trace)
+        new_profile = session.profile(resized, config)
         reduction = MemoryReduction(
             candidate=candidate,
             new_size=new_size,
             stages_before=baseline_stages,
-            stages_after=_stages(resized, target),
+            stages_after=_stages(resized, target, session),
         )
         if profile.same_behavior_as(new_profile):
             observations.append(
@@ -287,3 +313,36 @@ def run_phase(
         rejected=rejected,
         observations=observations,
     )
+
+
+@dataclass
+class MemoryReductionPass:
+    """Phase 3 as an :class:`~repro.core.passes.OptimizationPass`.
+
+    Each round accepts at most one verified resize; every probe of the
+    candidate search and binary search hits the session's memo cache.
+    """
+
+    max_rounds: int = 1
+    candidate_order: Optional[
+        Callable[[List[MemoryCandidate]], List[MemoryCandidate]]
+    ] = None
+    name: str = dc_field(default="reduce-memory", init=False)
+    phase: Phase = dc_field(default=Phase.REDUCE_MEMORY, init=False)
+
+    def run(self, ctx: OptimizationContext) -> PassResult:
+        step = run_phase(
+            ctx.program,
+            ctx.config,
+            ctx.trace,
+            ctx.target,
+            ctx.profile(),
+            candidate_order=self.candidate_order,
+            session=ctx,
+        )
+        if step.accepted is not None:
+            ctx.propose(program=step.program)
+        return PassResult(
+            changed=step.accepted is not None,
+            observations=step.observations,
+        )

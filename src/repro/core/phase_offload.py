@@ -15,7 +15,8 @@ from dataclasses import dataclass, field as dc_field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.core.observations import Observation, ObservationKind, Phase
-from repro.core.profiler import Profiler
+from repro.core.passes import PassResult
+from repro.core.session import OptimizationContext
 from repro.exceptions import OffloadError
 from repro.p4.actions import (
     Action,
@@ -302,23 +303,31 @@ def evaluate_candidates(
     target: TargetModel,
     candidates: Sequence[SegmentCandidate],
     baseline_stages: Optional[int] = None,
+    session: Optional[OptimizationContext] = None,
 ) -> List[EvaluatedCandidate]:
     """Compile + profile the redirect variant of every candidate (§3.4:
-    "P2GO compiles and profiles a modified program for each candidate")."""
+    "P2GO compiles and profiles a modified program for each candidate").
+
+    With a ``session``, every variant compile/profile is memoized — the
+    accepted variant's later re-profile by the orchestrator (and repeat
+    evaluations across re-runs on the same session) cost nothing.
+    """
+    if session is None:
+        session = OptimizationContext(program, config, trace, target)
     if baseline_stages is None:
-        baseline_stages = compile_program(program, target).stages_used
+        baseline_stages = session.compile(program).stages_used
     evaluated: List[EvaluatedCandidate] = []
     for candidate in candidates:
         redirect_table = unique_redirect_name(program)
         modified = make_offloaded_program(
             program, candidate, table_name=redirect_table
         )
-        stages = compile_program(modified, target).stages_used
+        stages = session.compile(modified).stages_used
         remaining = [
             t for t in modified.tables if t not in candidate.tables
         ]
         adapted = config.restricted_to(remaining)
-        profile = Profiler(modified, adapted).profile(trace)
+        profile = session.profile(modified, adapted)
         evaluated.append(
             EvaluatedCandidate(
                 candidate=candidate,
@@ -432,6 +441,7 @@ def _try_combination(
     max_redirect_fraction: float,
     baseline_stages: int,
     observations: List[Observation],
+    session: Optional[OptimizationContext] = None,
 ) -> Optional[OffloadResult]:
     """§3.4's DP: combine disjoint segments when no single one suffices."""
     combo = select_combination(
@@ -443,7 +453,10 @@ def _try_combination(
         return None
     segments = [e.candidate for e in combo]
     combined = make_combined_offloaded_program(program, segments)
-    stages = compile_program(combined, target).stages_used
+    if session is not None:
+        stages = session.compile(combined).stages_used
+    else:
+        stages = compile_program(combined, target).stages_used
     if baseline_stages - stages < min_stage_savings:
         return None  # additive estimate was optimistic; reject
     offloaded_tables = [t for c in segments for t in c.tables]
@@ -492,15 +505,19 @@ def run_phase(
     min_stage_savings: int = 1,
     max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
     allow_combination: bool = False,
+    session: Optional[OptimizationContext] = None,
 ) -> OffloadResult:
     """Offload the best segment (or, with ``allow_combination``, the best
     DP combination of disjoint segments) if any qualifies."""
+    if session is None:
+        session = OptimizationContext(program, config, trace, target)
     observations: List[Observation] = []
     candidates = enumerate_candidates(program)
-    baseline_stages = compile_program(program, target).stages_used
+    baseline_stages = session.compile(program).stages_used
     evaluated = evaluate_candidates(
         program, config, trace, target, candidates,
         baseline_stages=baseline_stages,
+        session=session,
     )
     chosen = select_candidate(
         evaluated,
@@ -513,6 +530,7 @@ def run_phase(
                 program, config, trace, target, evaluated,
                 min_stage_savings, max_redirect_fraction,
                 baseline_stages, observations,
+                session=session,
             )
             if combined is not None:
                 return combined
@@ -569,3 +587,40 @@ def run_phase(
         observations=observations,
         combination=(chosen,),
     )
+
+
+@dataclass
+class OffloadPass:
+    """Phase 4 as an :class:`~repro.core.passes.OptimizationPass`.
+
+    Evaluates every self-contained segment's redirect variant through
+    the session cache and proposes the qualifying one that redirects the
+    least traffic (program *and* config change together).
+    """
+
+    min_stage_savings: int = 1
+    max_redirect_fraction: float = DEFAULT_MAX_REDIRECT
+    allow_combination: bool = False
+    max_rounds: int = 1
+    name: str = dc_field(default="offload-code", init=False)
+    phase: Phase = dc_field(default=Phase.OFFLOAD_CODE, init=False)
+
+    def run(self, ctx: OptimizationContext) -> PassResult:
+        step = run_phase(
+            ctx.program,
+            ctx.config,
+            ctx.trace,
+            ctx.target,
+            min_stage_savings=self.min_stage_savings,
+            max_redirect_fraction=self.max_redirect_fraction,
+            allow_combination=self.allow_combination,
+            session=ctx,
+        )
+        changed = step.offloaded is not None
+        info: Dict[str, object] = {}
+        if changed:
+            ctx.propose(program=step.program, config=step.config)
+            info["offloaded_tables"] = step.offloaded.candidate.tables
+        return PassResult(
+            changed=changed, observations=step.observations, info=info
+        )

@@ -5,40 +5,55 @@ memory, offload code.  Every modification is recorded as an observation;
 an optional review hook lets the programmer accept or reject each change
 (§2.2: "the programmer can then choose to selectively accept or reject
 them based on her knowledge of the general traffic").
+
+The loop itself lives in :class:`~repro.core.passes.PassManager`: each
+phase is an :class:`~repro.core.passes.OptimizationPass` over a shared
+:class:`~repro.core.session.OptimizationContext`, so all candidate
+probing — the halving binary search of phase 3, the per-segment redirect
+variants of phase 4, the re-profiles after each accepted change — goes
+through one content-keyed compile/profile memo cache.  The session's
+invocation counters ride along on :class:`P2GOResult` so callers can see
+exactly how many compiles and trace replays a run cost (and how many the
+cache absorbed).  ``tests/test_passes.py`` pins result equivalence with
+the seed ``if/elif`` orchestrator, which is kept verbatim in
+:mod:`repro.core.seed_pipeline` as the reference.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
-from typing import Callable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
-from repro.core import phase_dependencies, phase_memory, phase_offload
 from repro.core.observations import (
     Observation,
     ObservationKind,
     ObservationLog,
     Phase,
 )
-from repro.core.profiler import Profile, Profiler
+from repro.core.passes import (
+    OptimizationPass,
+    PassManager,
+    PhaseOutcome,
+    ReviewHook,
+)
+from repro.core.phase_dependencies import DependencyRemovalPass
+from repro.core.phase_memory import MemoryReductionPass
+from repro.core.phase_offload import DEFAULT_MAX_REDIRECT, OffloadPass
+from repro.core.profiler import Profile
+from repro.core.session import OptimizationContext, SessionCounters
 from repro.p4.program import Program
 from repro.sim.perf import PerfCounters
 from repro.sim.runtime import RuntimeConfig
-from repro.target.compiler import compile_program
 from repro.target.model import DEFAULT_TARGET, TargetModel
 from repro.traffic.generators import TracePacket
 
-#: Review hook: receives each optimization observation, returns True to
-#: accept.  The default accepts everything (batch mode).
-ReviewHook = Callable[[Observation], bool]
-
-
-@dataclass
-class PhaseOutcome:
-    """Stage count after a phase (Table 2's rows)."""
-
-    phase: Phase
-    stages: int
-    stage_map: List[List[str]]
+__all__ = [
+    "P2GO",
+    "P2GOResult",
+    "PhaseOutcome",
+    "ReviewHook",
+    "optimize",
+]
 
 
 @dataclass
@@ -54,8 +69,12 @@ class P2GOResult:
     offloaded_tables: Tuple[str, ...] = ()
     #: Perf counters of the initial profiling replay (packets/s, flow-cache
     #: hit rate, per-table lookups) — the engine cost every later phase
-    #: re-pays on each re-profile.
+    #: re-pays on each re-profile (per-phase re-pay shows up on each
+    #: outcome's ``profiling_perf``).
     profiling_perf: Optional[PerfCounters] = None
+    #: Compile/profile invocation counters of the run's session: how many
+    #: times the phases asked, how many times the memo cache answered.
+    session_counters: Optional[SessionCounters] = None
 
     @property
     def stages_before(self) -> int:
@@ -76,6 +95,12 @@ class P2GO:
     many dependencies to remove, how many resizes to accept, the minimum
     stage savings and controller-load ceiling for offloading, and the
     review hook through which a programmer can veto changes.
+
+    ``session`` lets several runs (or a run plus baselines/online
+    monitoring) share one compile/profile cache; by default each run gets
+    a fresh :class:`~repro.core.session.OptimizationContext`.
+    ``memoize=False`` disables the cache (every probe recompiles and
+    re-replays — the benchmark's reference mode).
     """
 
     def __init__(
@@ -88,8 +113,10 @@ class P2GO:
         max_dependency_removals: int = 8,
         max_memory_reductions: int = 1,
         offload_min_stage_savings: int = 1,
-        max_redirect_fraction: float = phase_offload.DEFAULT_MAX_REDIRECT,
+        max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
         review_hook: Optional[ReviewHook] = None,
+        session: Optional[OptimizationContext] = None,
+        memoize: bool = True,
     ):
         program.validate()
         config.validate(program)
@@ -103,36 +130,62 @@ class P2GO:
         self.offload_min_stage_savings = offload_min_stage_savings
         self.max_redirect_fraction = max_redirect_fraction
         self.review_hook = review_hook
+        self.session = session
+        self.memoize = memoize
 
     # ------------------------------------------------------------------
-    def _accepted(self, log: ObservationLog, obs: Observation) -> bool:
-        log.add(obs)
-        if (
-            obs.kind is ObservationKind.OPTIMIZATION
-            and self.review_hook is not None
-        ):
-            accepted = self.review_hook(obs)
-            if not accepted:
-                log.add(
-                    Observation(
-                        phase=obs.phase,
-                        kind=ObservationKind.REJECTED,
-                        title=f"programmer rejected: {obs.title}",
-                        details="change rolled back at review",
+    def build_passes(self) -> List[OptimizationPass]:
+        """The requested phase order as configured pass instances."""
+        passes: List[OptimizationPass] = []
+        for phase_number in self.phases:
+            if phase_number == 2:
+                passes.append(
+                    DependencyRemovalPass(
+                        max_rounds=self.max_dependency_removals
                     )
                 )
-            return accepted
-        return True
+            elif phase_number == 3:
+                passes.append(
+                    MemoryReductionPass(
+                        max_rounds=self.max_memory_reductions
+                    )
+                )
+            elif phase_number == 4:
+                passes.append(
+                    OffloadPass(
+                        min_stage_savings=self.offload_min_stage_savings,
+                        max_redirect_fraction=self.max_redirect_fraction,
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"unknown optimization phase {phase_number!r}; "
+                    "valid phases are 2, 3, 4"
+                )
+        return passes
 
     def run(self) -> P2GOResult:
+        passes = self.build_passes()
+        ctx = self.session
+        if ctx is None:
+            ctx = OptimizationContext(
+                self.program,
+                self.config,
+                self.trace,
+                self.target,
+                memoize=self.memoize,
+            )
+        else:
+            # An injected (possibly shared) session starts this run from
+            # our inputs but keeps its memo cache and counters.
+            ctx.program = self.program
+            ctx.config = self.config
         log = ObservationLog()
-        outcomes: List[PhaseOutcome] = []
 
         # Phase 1: profiling (batched replay through the flow-cache
         # engine; perf counters ride along on the result).
-        initial_profile, profiling_perf = Profiler(
-            self.program, self.config
-        ).profile_trace(self.trace)
+        ctx.start_perf_window()
+        initial_profile, profiling_perf = ctx.profile_with_perf()
         log.add(
             Observation(
                 phase=Phase.PROFILING,
@@ -154,119 +207,35 @@ class P2GO:
                 ),
             )
         )
-        current = self.program
-        config = self.config
-        profile = initial_profile
-        result = compile_program(current, self.target)
-        outcomes.append(
+        result = ctx.compile()
+        outcomes: List[PhaseOutcome] = [
             PhaseOutcome(
                 phase=Phase.PROFILING,
                 stages=result.stages_used,
                 stage_map=result.stage_map(),
+                profiling_perf=ctx.take_perf_window(),
             )
-        )
+        ]
 
         # Optimization phases, honouring the requested order.  The paper's
         # default runs offloading last so the data plane is optimized
         # first (§2.2 explains why offloading earlier can waste work);
         # the ablation bench deliberately reorders.
-        offloaded_tables: Tuple[str, ...] = ()
-        for phase_number in self.phases:
-            if phase_number == 2:
-                for _round in range(self.max_dependency_removals):
-                    step = phase_dependencies.run_phase(
-                        current, result, profile
-                    )
-                    applied = False
-                    for obs in step.observations:
-                        if obs.kind is ObservationKind.OPTIMIZATION:
-                            if self._accepted(log, obs):
-                                applied = True
-                        else:
-                            log.add(obs)
-                    if step.removed is None or not applied:
-                        break
-                    current = step.program
-                    result = compile_program(current, self.target)
-                    profile = Profiler(current, config).profile(self.trace)
-                outcomes.append(
-                    PhaseOutcome(
-                        phase=Phase.REMOVE_DEPENDENCIES,
-                        stages=result.stages_used,
-                        stage_map=result.stage_map(),
-                    )
-                )
-            elif phase_number == 3:
-                for _round in range(self.max_memory_reductions):
-                    step = phase_memory.run_phase(
-                        current, config, self.trace, self.target, profile
-                    )
-                    applied = False
-                    for obs in step.observations:
-                        if obs.kind is ObservationKind.OPTIMIZATION:
-                            if self._accepted(log, obs):
-                                applied = True
-                        else:
-                            log.add(obs)
-                    if step.accepted is None or not applied:
-                        break
-                    current = step.program
-                    result = compile_program(current, self.target)
-                    profile = Profiler(current, config).profile(self.trace)
-                result = compile_program(current, self.target)
-                outcomes.append(
-                    PhaseOutcome(
-                        phase=Phase.REDUCE_MEMORY,
-                        stages=result.stages_used,
-                        stage_map=result.stage_map(),
-                    )
-                )
-            elif phase_number == 4:
-                step = phase_offload.run_phase(
-                    current,
-                    config,
-                    self.trace,
-                    self.target,
-                    min_stage_savings=self.offload_min_stage_savings,
-                    max_redirect_fraction=self.max_redirect_fraction,
-                )
-                applied = False
-                for obs in step.observations:
-                    if obs.kind is ObservationKind.OPTIMIZATION:
-                        if self._accepted(log, obs):
-                            applied = True
-                    else:
-                        log.add(obs)
-                if step.offloaded is not None and applied:
-                    current = step.program
-                    config = step.config
-                    offloaded_tables = step.offloaded.candidate.tables
-                    result = compile_program(current, self.target)
-                    profile = Profiler(current, config).profile(self.trace)
-                else:
-                    result = compile_program(current, self.target)
-                outcomes.append(
-                    PhaseOutcome(
-                        phase=Phase.OFFLOAD_CODE,
-                        stages=result.stages_used,
-                        stage_map=result.stage_map(),
-                    )
-                )
-            else:
-                raise ValueError(
-                    f"unknown optimization phase {phase_number!r}; "
-                    "valid phases are 2, 3, 4"
-                )
+        manager = PassManager(ctx, review_hook=self.review_hook, log=log)
+        outcomes.extend(manager.run(passes))
 
         return P2GOResult(
             original_program=self.program,
-            optimized_program=current,
-            final_config=config,
+            optimized_program=ctx.program,
+            final_config=ctx.config,
             observations=log,
             initial_profile=initial_profile,
             outcomes=outcomes,
-            offloaded_tables=offloaded_tables,
+            offloaded_tables=tuple(
+                manager.info.get("offloaded_tables", ())
+            ),
             profiling_perf=profiling_perf,
+            session_counters=ctx.counters,
         )
 
 

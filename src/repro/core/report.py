@@ -61,6 +61,25 @@ def render_report(result: P2GOResult) -> str:
             for perf_line in result.profiling_perf.render().splitlines()
         )
         lines.append("")
+    phase_perf = [
+        o for o in result.outcomes[1:] if o.profiling_perf is not None
+    ]
+    if phase_perf:
+        lines.append("per-phase re-profiling cost:")
+        for outcome in phase_perf:
+            perf = outcome.profiling_perf
+            lines.append(
+                f"  {outcome.phase.name.lower():<20} "
+                f"{perf.packets} packets replayed at "
+                f"{perf.packets_per_second():,.0f} packets/s "
+                f"(cache hit rate {perf.cache_hit_rate():.1%})"
+            )
+        lines.append("")
+    if result.session_counters is not None:
+        lines.append(
+            "compile/profile session: " + result.session_counters.render()
+        )
+        lines.append("")
     optimizations = result.observations.optimizations()
     lines.append(f"applied optimizations: {len(optimizations)}")
     if result.offloaded_tables:

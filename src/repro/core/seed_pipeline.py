@@ -1,0 +1,224 @@
+"""The seed orchestrator, frozen as a reference implementation.
+
+This is the pre-pass-framework ``P2GO.run()`` — the hard-coded
+``if/elif`` chain with one accept/observe/recompile block per phase,
+including its redundant invocations (the back-to-back duplicate compile
+after phase 3's round loop, the re-profiles of programs a phase just
+profiled).  It is kept verbatim for two consumers:
+
+* ``tests/test_passes.py`` pins that the pass-framework orchestrator
+  produces an equivalent :class:`~repro.core.pipeline.P2GOResult` for
+  the paper's default phase order and the ablation reorderings;
+* ``benchmarks/bench_pipeline.py`` measures what the memoizing session
+  saves against it.
+
+Every compile/profile goes through a *non-memoizing*
+:class:`~repro.core.session.OptimizationContext`, so the run is
+bit-identical to the seed and its counters record the seed's true
+invocation counts.  Do not extend this module; new behaviour belongs in
+the pass framework.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import phase_dependencies, phase_memory, phase_offload
+from repro.core.observations import (
+    Observation,
+    ObservationKind,
+    ObservationLog,
+    Phase,
+)
+from repro.core.passes import PhaseOutcome, ReviewHook
+from repro.core.pipeline import P2GOResult
+from repro.core.session import OptimizationContext
+from repro.p4.program import Program
+from repro.sim.runtime import RuntimeConfig
+from repro.target.model import DEFAULT_TARGET, TargetModel
+from repro.traffic.generators import TracePacket
+
+
+def run_seed(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+    target: TargetModel = DEFAULT_TARGET,
+    phases: Sequence[int] = (2, 3, 4),
+    max_dependency_removals: int = 8,
+    max_memory_reductions: int = 1,
+    offload_min_stage_savings: int = 1,
+    max_redirect_fraction: float = phase_offload.DEFAULT_MAX_REDIRECT,
+    review_hook: Optional[ReviewHook] = None,
+) -> P2GOResult:
+    """The seed ``P2GO.run()``, verbatim (see module docstring)."""
+    program.validate()
+    config.validate(program)
+    trace = list(trace)
+    # Counting executor only: memoize=False replays the seed's every
+    # invocation; propose/commit are never used.
+    session = OptimizationContext(
+        program, config, trace, target, memoize=False
+    )
+
+    log = ObservationLog()
+    outcomes: List[PhaseOutcome] = []
+
+    def accepted(obs: Observation) -> bool:
+        log.add(obs)
+        if (
+            obs.kind is ObservationKind.OPTIMIZATION
+            and review_hook is not None
+        ):
+            ok = review_hook(obs)
+            if not ok:
+                log.add(
+                    Observation(
+                        phase=obs.phase,
+                        kind=ObservationKind.REJECTED,
+                        title=f"programmer rejected: {obs.title}",
+                        details="change rolled back at review",
+                    )
+                )
+            return ok
+        return True
+
+    # Phase 1: profiling.
+    initial_profile, profiling_perf = session.profile_with_perf(
+        program, config
+    )
+    log.add(
+        Observation(
+            phase=Phase.PROFILING,
+            kind=ObservationKind.PROFILE,
+            title=(
+                f"profiled {initial_profile.total_packets} packets, "
+                f"{len(initial_profile.nonexclusive_sets)} distinct "
+                f"non-exclusive action sets"
+            ),
+            details=(
+                f"replayed at {profiling_perf.packets_per_second():,.0f} "
+                f"packets/s (flow-cache hit rate "
+                f"{profiling_perf.cache_hit_rate():.1%}); "
+                "per-table hit rates: "
+                + ", ".join(
+                    f"{t}={initial_profile.hit_rate(t):.1%}"
+                    for t in program.tables_in_control_order()
+                )
+            ),
+        )
+    )
+    current = program
+    profile = initial_profile
+    result = session.compile(current)
+    outcomes.append(
+        PhaseOutcome(
+            phase=Phase.PROFILING,
+            stages=result.stages_used,
+            stage_map=result.stage_map(),
+        )
+    )
+
+    offloaded_tables: Tuple[str, ...] = ()
+    for phase_number in phases:
+        if phase_number == 2:
+            for _round in range(max_dependency_removals):
+                step = phase_dependencies.run_phase(
+                    current, result, profile
+                )
+                applied = False
+                for obs in step.observations:
+                    if obs.kind is ObservationKind.OPTIMIZATION:
+                        if accepted(obs):
+                            applied = True
+                    else:
+                        log.add(obs)
+                if step.removed is None or not applied:
+                    break
+                current = step.program
+                result = session.compile(current)
+                profile = session.profile(current, config)
+            outcomes.append(
+                PhaseOutcome(
+                    phase=Phase.REMOVE_DEPENDENCIES,
+                    stages=result.stages_used,
+                    stage_map=result.stage_map(),
+                )
+            )
+        elif phase_number == 3:
+            for _round in range(max_memory_reductions):
+                step = phase_memory.run_phase(
+                    current, config, trace, target, profile,
+                    session=session,
+                )
+                applied = False
+                for obs in step.observations:
+                    if obs.kind is ObservationKind.OPTIMIZATION:
+                        if accepted(obs):
+                            applied = True
+                    else:
+                        log.add(obs)
+                if step.accepted is None or not applied:
+                    break
+                current = step.program
+                result = session.compile(current)
+                profile = session.profile(current, config)
+            # The seed's duplicate compile (ISSUE 3, satellite 1): the
+            # round loop already compiled `current` — kept verbatim here.
+            result = session.compile(current)
+            outcomes.append(
+                PhaseOutcome(
+                    phase=Phase.REDUCE_MEMORY,
+                    stages=result.stages_used,
+                    stage_map=result.stage_map(),
+                )
+            )
+        elif phase_number == 4:
+            step = phase_offload.run_phase(
+                current,
+                config,
+                trace,
+                target,
+                min_stage_savings=offload_min_stage_savings,
+                max_redirect_fraction=max_redirect_fraction,
+                session=session,
+            )
+            applied = False
+            for obs in step.observations:
+                if obs.kind is ObservationKind.OPTIMIZATION:
+                    if accepted(obs):
+                        applied = True
+                else:
+                    log.add(obs)
+            if step.offloaded is not None and applied:
+                current = step.program
+                config = step.config
+                offloaded_tables = step.offloaded.candidate.tables
+                result = session.compile(current)
+                profile = session.profile(current, config)
+            else:
+                result = session.compile(current)
+            outcomes.append(
+                PhaseOutcome(
+                    phase=Phase.OFFLOAD_CODE,
+                    stages=result.stages_used,
+                    stage_map=result.stage_map(),
+                )
+            )
+        else:
+            raise ValueError(
+                f"unknown optimization phase {phase_number!r}; "
+                "valid phases are 2, 3, 4"
+            )
+
+    return P2GOResult(
+        original_program=program,
+        optimized_program=current,
+        final_config=config,
+        observations=log,
+        initial_profile=initial_profile,
+        outcomes=outcomes,
+        offloaded_tables=offloaded_tables,
+        profiling_perf=profiling_perf,
+        session_counters=session.counters,
+    )

@@ -1,0 +1,315 @@
+"""The optimization session: shared, memoizing compile/profile state.
+
+Every P2GO phase probes candidate programs by compiling them and
+re-profiling them on the same trace — the halving binary search of
+phase 3 and the per-candidate redirect variants of phase 4 alone account
+for dozens of :func:`~repro.target.compiler.compile_program` and
+:class:`~repro.core.profiler.Profiler` invocations per run, and the seed
+orchestrator repeated several of them verbatim (the accepted resize was
+re-profiled by the orchestrator right after phase 3 verified it; the
+accepted offload variant was re-profiled right after phase 4 evaluated
+it).  An :class:`OptimizationContext` makes all of that probing go
+through one content-keyed memo cache, so asking the same question twice
+— even with distinct but equal-content :class:`~repro.p4.program.Program`
+or :class:`~repro.sim.runtime.RuntimeConfig` objects — costs a dict
+lookup.
+
+Keying:
+
+* **Programs** are keyed by the SHA-1 of their printed DSL
+  (:func:`~repro.p4.dsl.print_program` is a faithful round-trippable
+  serialization; ``tests/test_dsl_roundtrip.py`` pins that).  The digest
+  is cached per object, so a program is printed at most once per
+  session; programs handed to the session are treated as immutable, the
+  contract every phase already honours (rewrites clone).
+* **Configs** are keyed by their canonical content (sorted entries,
+  default overrides, register inits, engine switches) — *not* by the
+  ``mutations`` stamp, so two ``restricted_to`` results with equal
+  content share one cache line.
+* **Profiles** are keyed by (program key, config key); the session holds
+  exactly one trace, which is part of its identity.
+
+The session also carries:
+
+* **Invocation counters** (:class:`SessionCounters`): every
+  ``compile()`` / ``profile()`` call is counted, split into memo hits
+  and actual executions — the numbers ``P2GOResult`` and the pipeline
+  benchmark report.
+* **Per-window profiling perf**: each actual profiling replay's
+  :class:`~repro.sim.perf.PerfCounters` are recorded;
+  :meth:`OptimizationContext.start_perf_window` /
+  :meth:`~OptimizationContext.take_perf_window` let the pass manager
+  attribute replay cost to the phase that paid it.
+* **Transactional state**: ``propose(program, config)`` stages a
+  candidate optimization, ``commit()`` makes it the session's current
+  state, ``rollback()`` discards it — so a review-hook rejection is a
+  real rollback of proposed state, not a change that was silently never
+  applied.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profiler import Profile, Profiler
+from repro.p4.dsl.printer import print_program
+from repro.p4.program import Program
+from repro.sim.perf import PerfCounters
+from repro.sim.runtime import RuntimeConfig
+from repro.target.compiler import CompileResult, compile_program
+from repro.target.model import DEFAULT_TARGET, TargetModel
+from repro.traffic.generators import TracePacket
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content key of a program: SHA-1 of its printed DSL."""
+    return hashlib.sha1(print_program(program).encode()).hexdigest()
+
+
+def config_fingerprint(config: RuntimeConfig) -> Tuple:
+    """Canonical, hashable content key of a runtime config.
+
+    Deliberately excludes the ``mutations`` stamp (two equal-content
+    clones must share a cache line) and is recomputed on every use, so
+    in-place mutation between calls is observed.
+    """
+    return (
+        tuple(
+            sorted(
+                (table, tuple(entries))
+                for table, entries in config.entries.items()
+                if entries
+            )
+        ),
+        tuple(sorted(config.default_overrides.items())),
+        tuple(config.register_inits),
+        tuple(config.hashed_inits),
+        config.enable_flow_cache,
+        config.enable_compiled_tables,
+        config.flow_cache_capacity,
+    )
+
+
+@dataclass
+class SessionCounters:
+    """How often the session compiled and profiled, and how often the
+    memo cache answered instead."""
+
+    #: ``compile()`` calls, total.
+    compile_calls: int = 0
+    #: Calls that actually ran :func:`compile_program`.
+    compile_executions: int = 0
+    #: ``profile()`` calls, total.
+    profile_calls: int = 0
+    #: Calls that actually replayed the trace.
+    profile_executions: int = 0
+
+    @property
+    def compile_hits(self) -> int:
+        return self.compile_calls - self.compile_executions
+
+    @property
+    def profile_hits(self) -> int:
+        return self.profile_calls - self.profile_executions
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "compile_calls": self.compile_calls,
+            "compile_executions": self.compile_executions,
+            "compile_hits": self.compile_hits,
+            "profile_calls": self.profile_calls,
+            "profile_executions": self.profile_executions,
+            "profile_hits": self.profile_hits,
+        }
+
+    def render(self) -> str:
+        return (
+            f"compile: {self.compile_calls} calls, "
+            f"{self.compile_executions} executed "
+            f"({self.compile_hits} memo hits); "
+            f"profile: {self.profile_calls} calls, "
+            f"{self.profile_executions} executed "
+            f"({self.profile_hits} memo hits)"
+        )
+
+
+def merge_perf(counters: Sequence[PerfCounters]) -> Optional[PerfCounters]:
+    """Sum a sequence of replay counters into one (None when empty)."""
+    if not counters:
+        return None
+    merged = PerfCounters()
+    for perf in counters:
+        merged.packets += perf.packets
+        merged.cache_hits += perf.cache_hits
+        merged.cache_misses += perf.cache_misses
+        merged.cache_invalidations += perf.cache_invalidations
+        merged.cache_evictions += perf.cache_evictions
+        merged.elapsed_seconds += perf.elapsed_seconds
+        merged.timed_packets += perf.timed_packets
+        for table, count in perf.table_lookups.items():
+            merged.table_lookups[table] = (
+                merged.table_lookups.get(table, 0) + count
+            )
+    return merged
+
+
+class OptimizationContext:
+    """Current optimization state plus the memoizing compile/profile
+    session every phase shares.
+
+    ``memoize=False`` keeps the counters and the transactional state but
+    executes every call — the mode the seed-orchestrator reference and
+    the pipeline benchmark use to measure what the memo cache saves.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: RuntimeConfig,
+        trace: Sequence[TracePacket],
+        target: TargetModel = DEFAULT_TARGET,
+        memoize: bool = True,
+    ):
+        self.program = program
+        self.config = config
+        self.trace = list(trace)
+        self.target = target
+        self.memoize = memoize
+        self.counters = SessionCounters()
+
+        #: id(program) -> (strong ref, digest).  The strong ref keeps the
+        #: object alive so ids cannot be recycled mid-session.
+        self._program_keys: Dict[int, Tuple[Program, str]] = {}
+        self._compile_cache: Dict[Tuple[str, str], CompileResult] = {}
+        self._profile_cache: Dict[Tuple[str, Tuple], Profile] = {}
+        #: Perf counters of the replay that produced each cached profile.
+        self._profile_perf: Dict[Tuple[str, Tuple], PerfCounters] = {}
+
+        self._pending: Optional[Tuple[Program, RuntimeConfig]] = None
+        self._window_perf: List[PerfCounters] = []
+
+    # ------------------------------------------------------------------
+    # Content keys
+
+    def program_key(self, program: Program) -> str:
+        cached = self._program_keys.get(id(program))
+        if cached is not None and cached[0] is program:
+            return cached[1]
+        digest = program_fingerprint(program)
+        self._program_keys[id(program)] = (program, digest)
+        return digest
+
+    # ------------------------------------------------------------------
+    # Memoized compile / profile
+
+    def compile(self, program: Optional[Program] = None) -> CompileResult:
+        """Compile ``program`` (default: the current program) against the
+        session target, memoized on program content."""
+        if program is None:
+            program = self.program
+        self.counters.compile_calls += 1
+        key = (self.program_key(program), self.target.name)
+        if self.memoize:
+            cached = self._compile_cache.get(key)
+            if cached is not None:
+                return cached
+        self.counters.compile_executions += 1
+        result = compile_program(program, self.target)
+        if self.memoize:
+            self._compile_cache[key] = result
+        return result
+
+    def profile(
+        self,
+        program: Optional[Program] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> Profile:
+        """Profile ``program`` under ``config`` (defaults: current state)
+        on the session trace, memoized on (program, config) content."""
+        profile, _perf = self.profile_with_perf(program, config)
+        return profile
+
+    def profile_with_perf(
+        self,
+        program: Optional[Program] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> Tuple[Profile, PerfCounters]:
+        """Like :meth:`profile` but also returns the perf counters of the
+        replay that produced the profile (the cached replay's counters on
+        a memo hit — the cost was paid once)."""
+        if program is None:
+            program = self.program
+        if config is None:
+            config = self.config
+        self.counters.profile_calls += 1
+        key = (self.program_key(program), config_fingerprint(config))
+        if self.memoize:
+            cached = self._profile_cache.get(key)
+            if cached is not None:
+                return cached, self._profile_perf[key]
+        self.counters.profile_executions += 1
+        run = Profiler(program, config).run(self.trace)
+        perf = run.perf
+        self._window_perf.append(perf)
+        if self.memoize:
+            self._profile_cache[key] = run.profile
+            self._profile_perf[key] = perf
+        return run.profile, perf
+
+    # ------------------------------------------------------------------
+    # Per-phase perf attribution
+
+    def start_perf_window(self) -> None:
+        """Begin attributing replay perf to a new window (one phase)."""
+        self._window_perf = []
+
+    def take_perf_window(self) -> Optional[PerfCounters]:
+        """Merged perf of every actual replay since the window started
+        (None when every profile in the window was a memo hit)."""
+        merged = merge_perf(self._window_perf)
+        self._window_perf = []
+        return merged
+
+    # ------------------------------------------------------------------
+    # Transactional state
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._pending is not None
+
+    def propose(
+        self,
+        program: Optional[Program] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        """Stage a candidate optimization (program and/or config).
+
+        The session's current state is untouched until :meth:`commit`;
+        :meth:`rollback` discards the proposal.  Only one proposal may be
+        open at a time.
+        """
+        if self._pending is not None:
+            raise RuntimeError(
+                "a proposal is already pending; commit or roll back first"
+            )
+        self._pending = (
+            program if program is not None else self.program,
+            config if config is not None else self.config,
+        )
+
+    def commit(self) -> Tuple[Program, RuntimeConfig]:
+        """Make the pending proposal the session's current state."""
+        if self._pending is None:
+            raise RuntimeError("no pending proposal to commit")
+        self.program, self.config = self._pending
+        self._pending = None
+        return self.program, self.config
+
+    def rollback(self) -> Tuple[Program, RuntimeConfig]:
+        """Discard the pending proposal; current state is unchanged."""
+        if self._pending is None:
+            raise RuntimeError("no pending proposal to roll back")
+        self._pending = None
+        return self.program, self.config

@@ -1,0 +1,199 @@
+"""The pass framework vs the seed orchestrator.
+
+The pass-manager pipeline must produce an *equivalent*
+:class:`~repro.core.pipeline.P2GOResult` to the seed ``if/elif``
+orchestrator (kept verbatim in :mod:`repro.core.seed_pipeline`) for the
+paper's default phase order, the ablation reorderings, and single-phase
+runs — while its session executes strictly fewer compiles and trace
+replays (ISSUE 3's acceptance bar).
+"""
+
+import re
+
+import pytest
+
+from repro.core.passes import PassManager, PhaseOutcome
+from repro.core.phase_dependencies import DependencyRemovalPass
+from repro.core.phase_memory import MemoryReductionPass
+from repro.core.phase_offload import OffloadPass
+from repro.core.pipeline import P2GO
+from repro.core.seed_pipeline import run_seed
+from repro.core.session import (
+    OptimizationContext,
+    config_fingerprint,
+    program_fingerprint,
+)
+from repro.programs import example_firewall
+
+#: Phase orders the ablation bench exercises (ISSUE 3): the paper's
+#: default, offload-first, memory-then-deps, and single-phase runs.
+ORDERS = [(2, 3, 4), (4, 2, 3), (3, 2), (2,), (3,), (4,)]
+
+#: Smaller than the suite-wide 4000 (six orders run twice each), but
+#: large enough that the offload phase still fires on the firewall.
+TRACE_SIZE = 2000
+
+
+@pytest.fixture(scope="module")
+def inputs():
+    return (
+        example_firewall.build_program(),
+        example_firewall.runtime_config(),
+        example_firewall.make_trace(TRACE_SIZE),
+        example_firewall.TARGET,
+    )
+
+
+def _stable(details):
+    """Blank out the one wall-clock-dependent figure in observation text."""
+    return re.sub(r"[\d,.]+ packets/s", "<pps> packets/s", details)
+
+
+def assert_equivalent(new, seed):
+    """P2GOResult equivalence modulo the new perf/counter fields."""
+    assert program_fingerprint(new.optimized_program) == (
+        program_fingerprint(seed.optimized_program)
+    )
+    assert new.stage_history() == seed.stage_history()
+    assert [o.stage_map for o in new.outcomes] == [
+        o.stage_map for o in seed.outcomes
+    ]
+    assert [(o.phase, o.kind, o.title, _stable(o.details), o.evidence)
+            for o in new.observations.items] == [
+        (o.phase, o.kind, o.title, _stable(o.details), o.evidence)
+        for o in seed.observations.items
+    ]
+    assert new.offloaded_tables == seed.offloaded_tables
+    assert config_fingerprint(new.final_config) == (
+        config_fingerprint(seed.final_config)
+    )
+    assert new.initial_profile.same_behavior_as(seed.initial_profile)
+
+
+@pytest.mark.parametrize("order", ORDERS, ids=lambda o: "-".join(map(str, o)))
+def test_order_equivalent_to_seed_with_fewer_invocations(inputs, order):
+    program, config, trace, target = inputs
+    new = P2GO(program, config, trace, target, phases=order).run()
+    seed = run_seed(program, config, trace, target, phases=order)
+    assert_equivalent(new, seed)
+    # The memo cache never makes a run more expensive...
+    assert (
+        new.session_counters.compile_executions
+        <= seed.session_counters.compile_executions
+    )
+    assert (
+        new.session_counters.profile_executions
+        <= seed.session_counters.profile_executions
+    )
+    # ...and makes every multi-phase order strictly cheaper.  (A
+    # phase-2-only run is already minimal in the seed: one compile and
+    # one profile per accepted removal, nothing redundant to cache.)
+    if len(order) > 1:
+        assert (
+            new.session_counters.profile_executions
+            + new.session_counters.compile_executions
+        ) < (
+            seed.session_counters.profile_executions
+            + seed.session_counters.compile_executions
+        )
+
+
+def test_default_order_profile_strictly_fewer(inputs):
+    """The acceptance criterion's strongest form holds on the paper's
+    default order: both compiles *and* replays strictly drop."""
+    program, config, trace, target = inputs
+    new = P2GO(program, config, trace, target).run()
+    seed = run_seed(program, config, trace, target)
+    assert (
+        new.session_counters.compile_executions
+        < seed.session_counters.compile_executions
+    )
+    assert (
+        new.session_counters.profile_executions
+        < seed.session_counters.profile_executions
+    )
+
+
+class TestPassManager:
+    def test_review_hook_veto_is_a_rollback(self, inputs):
+        program, config, trace, target = inputs
+        ctx = OptimizationContext(program, config, trace, target)
+        manager = PassManager(ctx, review_hook=lambda obs: False)
+        outcome = manager.run_pass(DependencyRemovalPass(max_rounds=8))
+        # The veto rolled the proposal back: session state unchanged.
+        assert ctx.program is program
+        assert not ctx.in_transaction
+        assert outcome.stages == ctx.compile().stages_used
+        assert any(
+            "programmer rejected" in o.title for o in manager.log.items
+        )
+
+    def test_pass_sequence_shares_one_cache(self, inputs):
+        program, config, trace, target = inputs
+        ctx = OptimizationContext(program, config, trace, target)
+        manager = PassManager(ctx)
+        outcomes = manager.run(
+            [
+                DependencyRemovalPass(max_rounds=8),
+                MemoryReductionPass(),
+                OffloadPass(),
+            ]
+        )
+        assert [o.stages for o in outcomes] == [7, 6, 3]
+        assert all(isinstance(o, PhaseOutcome) for o in outcomes)
+        assert ctx.counters.compile_hits > 0
+        assert ctx.counters.profile_hits > 0
+        assert manager.info["offloaded_tables"] == (
+            "Sketch_1", "Sketch_2", "Sketch_Min", "DNS_Drop",
+        )
+
+    def test_phase_perf_attributed_per_outcome(self, inputs):
+        program, config, trace, target = inputs
+        ctx = OptimizationContext(program, config, trace, target)
+        ctx.profile()  # initial profile, as the pipeline would
+        manager = PassManager(ctx)
+        outcomes = manager.run(
+            [DependencyRemovalPass(max_rounds=8), MemoryReductionPass()]
+        )
+        # The dependency pass's first profile is a memo hit; its later
+        # rounds and the memory pass's verification replays are real.
+        for outcome in outcomes:
+            if outcome.profiling_perf is not None:
+                assert outcome.profiling_perf.packets % len(trace) == 0
+                assert outcome.profiling_perf.packets > 0
+
+    def test_unknown_phase_still_rejected(self, inputs):
+        program, config, trace, target = inputs
+        with pytest.raises(ValueError, match="unknown optimization phase"):
+            P2GO(program, config, trace, target, phases=(2, 9)).run()
+
+
+class TestResultExtras:
+    def test_session_counters_on_result(self, firewall_result):
+        counters = firewall_result.session_counters
+        assert counters is not None
+        assert counters.compile_hits > 0
+        assert counters.compile_executions <= counters.compile_calls
+        assert counters.profile_executions <= counters.profile_calls
+
+    def test_phase_outcomes_carry_profiling_perf(self, firewall_result):
+        # Initial profiling always replays; later phases replay whenever
+        # they accepted a change (this run accepts one per phase).
+        assert firewall_result.outcomes[0].profiling_perf is not None
+        assert firewall_result.profiling_perf is not None
+        for outcome in firewall_result.outcomes[1:]:
+            if outcome.profiling_perf is not None:
+                assert outcome.profiling_perf.packets > 0
+
+    def test_shared_session_across_runs(self, inputs):
+        """A second run on the same session is nearly free: the first
+        run's cache already holds every compile/profile it needs."""
+        program, config, trace, target = inputs
+        ctx = OptimizationContext(program, config, trace, target)
+        P2GO(program, config, trace, target, session=ctx).run()
+        executions_after_first = ctx.counters.compile_executions
+        replays_after_first = ctx.counters.profile_executions
+        second = P2GO(program, config, trace, target, session=ctx).run()
+        assert ctx.counters.compile_executions == executions_after_first
+        assert ctx.counters.profile_executions == replays_after_first
+        assert second.stages_after == second.outcomes[-1].stages

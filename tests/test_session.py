@@ -1,0 +1,191 @@
+"""Unit tests for the memoizing compile/profile session."""
+
+import pytest
+
+from repro.core.session import (
+    OptimizationContext,
+    config_fingerprint,
+    merge_perf,
+    program_fingerprint,
+)
+from repro.sim.perf import PerfCounters
+from repro.target.model import DEFAULT_TARGET
+
+from .conftest import build_toy_program, toy_config
+
+
+def make_trace():
+    from repro.packets.craft import udp_packet
+
+    return [
+        udp_packet("1.1.1.1", "10.0.0.9", 5, 53) for _ in range(4)
+    ] + [
+        udp_packet("2.2.2.2", "10.0.0.9", 5, 80) for _ in range(4)
+    ]
+
+
+@pytest.fixture
+def ctx():
+    return OptimizationContext(
+        build_toy_program(), toy_config(), make_trace(), DEFAULT_TARGET
+    )
+
+
+class TestFingerprints:
+    def test_program_fingerprint_content_keyed(self):
+        a, b = build_toy_program(), build_toy_program()
+        assert a is not b
+        assert program_fingerprint(a) == program_fingerprint(b)
+
+    def test_program_fingerprint_sees_resize(self):
+        a = build_toy_program()
+        assert program_fingerprint(a) != program_fingerprint(
+            a.with_table_size("fib", 32)
+        )
+
+    def test_config_fingerprint_ignores_mutation_stamp(self):
+        a, b = toy_config(), toy_config()
+        b.mutations += 7
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_config_fingerprint_sees_new_entry(self):
+        a, b = toy_config(), toy_config()
+        b.add_entry("acl", [123], "deny")
+        assert config_fingerprint(a) != config_fingerprint(b)
+
+    def test_config_fingerprint_equal_for_equal_restrictions(self):
+        a = toy_config()
+        assert config_fingerprint(a.restricted_to(["fib"])) == (
+            config_fingerprint(a.restricted_to(["fib"]))
+        )
+
+
+class TestMemoization:
+    def test_compile_memo_hit_same_object(self, ctx):
+        first = ctx.compile()
+        second = ctx.compile()
+        assert first is second
+        assert ctx.counters.compile_calls == 2
+        assert ctx.counters.compile_executions == 1
+        assert ctx.counters.compile_hits == 1
+
+    def test_compile_memo_hit_equal_content(self, ctx):
+        first = ctx.compile(build_toy_program())
+        second = ctx.compile(build_toy_program())
+        assert first is second
+        assert ctx.counters.compile_executions == 1
+
+    def test_compile_miss_on_different_content(self, ctx):
+        ctx.compile()
+        ctx.compile(ctx.program.with_table_size("fib", 32))
+        assert ctx.counters.compile_executions == 2
+
+    def test_profile_memo_hit(self, ctx):
+        first = ctx.profile()
+        second = ctx.profile()
+        assert first is second
+        assert ctx.counters.profile_executions == 1
+        assert ctx.counters.profile_hits == 1
+
+    def test_profile_keyed_on_config_content(self, ctx):
+        ctx.profile()
+        other = toy_config()
+        other.add_entry("acl", [80], "deny")
+        ctx.profile(config=other)
+        assert ctx.counters.profile_executions == 2
+        # Restricting to all tables is an identity restriction — equal
+        # content, so it shares the full config's cache line.
+        ctx.profile(config=ctx.config.restricted_to(["fib", "acl"]))
+        assert ctx.counters.profile_executions == 2
+        # A genuinely narrower restriction is a new cache line, and two
+        # equal-content restriction objects share it.
+        ctx.profile(config=ctx.config.restricted_to(["fib"]))
+        ctx.profile(config=ctx.config.restricted_to(["fib"]))
+        assert ctx.counters.profile_executions == 3
+
+    def test_profile_results_match_uncached(self, ctx):
+        from repro.core.profiler import Profiler
+
+        cached = ctx.profile()
+        direct = Profiler(ctx.program, ctx.config).profile(ctx.trace)
+        assert cached.same_behavior_as(direct)
+
+    def test_memoize_false_executes_every_call(self):
+        ctx = OptimizationContext(
+            build_toy_program(),
+            toy_config(),
+            make_trace(),
+            DEFAULT_TARGET,
+            memoize=False,
+        )
+        ctx.compile()
+        ctx.compile()
+        ctx.profile()
+        ctx.profile()
+        assert ctx.counters.compile_executions == 2
+        assert ctx.counters.profile_executions == 2
+        assert ctx.counters.compile_hits == 0
+        assert ctx.counters.profile_hits == 0
+
+
+class TestTransactions:
+    def test_commit_applies_proposal(self, ctx):
+        resized = ctx.program.with_table_size("fib", 32)
+        ctx.propose(program=resized)
+        assert ctx.in_transaction
+        ctx.commit()
+        assert ctx.program is resized
+        assert not ctx.in_transaction
+
+    def test_rollback_restores_state(self, ctx):
+        original = ctx.program
+        ctx.propose(program=ctx.program.with_table_size("fib", 32))
+        ctx.rollback()
+        assert ctx.program is original
+        assert not ctx.in_transaction
+
+    def test_nested_propose_rejected(self, ctx):
+        ctx.propose(program=ctx.program)
+        with pytest.raises(RuntimeError):
+            ctx.propose(program=ctx.program)
+        ctx.rollback()
+
+    def test_commit_without_proposal_rejected(self, ctx):
+        with pytest.raises(RuntimeError):
+            ctx.commit()
+        with pytest.raises(RuntimeError):
+            ctx.rollback()
+
+    def test_propose_config_only_keeps_program(self, ctx):
+        original = ctx.program
+        restricted = ctx.config.restricted_to(["fib"])
+        ctx.propose(config=restricted)
+        ctx.commit()
+        assert ctx.program is original
+        assert ctx.config is restricted
+
+
+class TestPerfWindows:
+    def test_window_collects_actual_replays_only(self, ctx):
+        ctx.start_perf_window()
+        ctx.profile()
+        perf = ctx.take_perf_window()
+        assert perf is not None
+        assert perf.packets == len(ctx.trace)
+        # A memo hit pays nothing: the next window is empty.
+        ctx.start_perf_window()
+        ctx.profile()
+        assert ctx.take_perf_window() is None
+
+    def test_merge_perf(self):
+        a = PerfCounters(packets=5, cache_hits=3, cache_misses=2,
+                         elapsed_seconds=1.0, timed_packets=5,
+                         table_lookups={"t": 2})
+        b = PerfCounters(packets=7, cache_hits=0, cache_misses=7,
+                         elapsed_seconds=1.0, timed_packets=7,
+                         table_lookups={"t": 3, "u": 1})
+        merged = merge_perf([a, b])
+        assert merged.packets == 12
+        assert merged.table_lookups == {"t": 5, "u": 1}
+        assert merged.packets_per_second() == pytest.approx(6.0)
+        assert merge_perf([]) is None
