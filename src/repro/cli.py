@@ -11,10 +11,13 @@ Commands:
   on its own; prints the profiling engine's perf counters (packets/s,
   flow-cache hit rate).  ``--no-cache`` forces the uncached reference
   interpreter.
-* ``optimize PROGRAM --config CFG --trace PCAP [--no-memo]`` — the full
-  pipeline; writes the optimized program (DSL) and the observation
-  report (which includes the session's compile/profile invocation
-  counters).  ``--no-memo`` disables the session memo cache.
+* ``optimize PROGRAM --config CFG --trace PCAP [--no-memo]
+  [--workers N]`` — the full pipeline; writes the optimized program
+  (DSL) and the observation report (which includes the session's
+  compile/profile invocation counters).  ``--no-memo`` disables the
+  session memo cache; ``--workers`` probes independent candidates
+  concurrently (default: the ``P2GO_WORKERS`` environment variable,
+  then 1 — the result is identical for any worker count).
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
 
 Runtime-config JSON schema::
@@ -153,6 +156,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         phases=phases,
         max_redirect_fraction=args.max_redirect,
         memoize=not args.no_memo,
+        workers=args.workers,
     ).run()
     print(render_report(result))
     if args.output:
@@ -241,6 +245,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the session's compile/profile memo cache (every "
         "candidate probe recompiles and re-replays the trace)",
+    )
+    p_opt.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate independent candidate probes with this many "
+        "workers (default: $P2GO_WORKERS, then 1; the optimization "
+        "result is identical for any value)",
     )
     p_opt.add_argument("-o", "--output", help="write optimized DSL here")
     p_opt.add_argument("--report", help="write the report here")

@@ -40,6 +40,8 @@ _EXPORTS = {
     "Profiler": "profiler",
     "ProfilingRun": "profiler",
     "SessionCounters": "session",
+    "resolve_workers": "session",
+    "trace_fingerprint": "session",
     "instrument": "instrument",
     "optimize": "pipeline",
     "profile_program": "profiler",

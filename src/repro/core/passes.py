@@ -59,9 +59,11 @@ class PhaseOutcome:
     phase: Phase
     stages: int
     stage_map: List[List[str]]
-    #: Merged perf counters of the trace replays this phase triggered
-    #: (None when the phase ran no new replay — every profile it asked
-    #: for was a session memo hit).
+    #: Merged perf counters of the trace replays this phase triggered,
+    #: merged in submission order (parallel batches included).  None
+    #: when the phase ran no new replay — every profile it asked for was
+    #: a session memo hit.  Replays outside the phase's perf window
+    #: (pipeline setup, online monitoring) are never attributed here.
     profiling_perf: Optional[PerfCounters] = None
 
 
@@ -98,7 +100,14 @@ class OptimizationPass(Protocol):
 
 
 class PassManager:
-    """Runs a sequence of passes over one optimization session."""
+    """Runs a sequence of passes over one optimization session.
+
+    Passes may evaluate independent candidates through the session's
+    batch probes (``compile_many`` / ``profile_many`` / ``probe_many``);
+    the manager's own accept/commit/rollback loop stays strictly serial
+    — the session refuses to batch while a proposal is open, so a pass
+    must finish probing before it proposes.
+    """
 
     def __init__(
         self,

@@ -372,7 +372,13 @@ class DependencyRemovalPass:
     phase: Phase = dc_field(default=Phase.REMOVE_DEPENDENCIES, init=False)
 
     def run(self, ctx: OptimizationContext) -> PassResult:
-        step = run_phase(ctx.program, ctx.compile(), ctx.profile())
+        # The round's two probes — compile and trace replay of the
+        # current program — are independent; one mixed batch evaluates
+        # them concurrently (serially when the session has one worker).
+        compiled, profiled = ctx.probe_many(
+            programs=[ctx.program], variants=[(None, None)]
+        )
+        step = run_phase(ctx.program, compiled[0], profiled[0][0])
         if step.removed is not None:
             ctx.propose(program=step.program)
         return PassResult(

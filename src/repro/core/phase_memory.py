@@ -82,54 +82,78 @@ def find_candidates(
     session: Optional[OptimizationContext] = None,
 ) -> List[MemoryCandidate]:
     """Probe a 50% cut of every resource; keep the stage-saving ones,
-    ordered lowest hit rate first (ties broken by control order)."""
+    ordered lowest hit rate first (ties broken by control order).
+
+    The halving probes are independent per resource, so with a session
+    they go through one :meth:`~repro.core.session.OptimizationContext.
+    compile_many` batch — compiled concurrently when the session has
+    workers, with results and counters identical to the serial loop.
+    """
     if baseline_stages is None:
         baseline_stages = _stages(program, target, session)
     order = {
         name: i for i, name in enumerate(program.tables_in_control_order())
     }
-    candidates: List[MemoryCandidate] = []
 
+    # Enumerate every resizable resource with its halved variant first
+    # (tables in declaration order, then owned registers — the serial
+    # probe order), then batch-compile all variants in one wave.
+    probes: List[Tuple[ResourceKind, str, int, str, Program]] = []
     for table in program.tables.values():
         if table.size < 2 or not table.keys:
             continue
-        stages = _stages(
-            program.with_table_size(table.name, table.size // 2),
-            target,
-            session,
-        )
-        if stages < baseline_stages:
-            candidates.append(
-                MemoryCandidate(
-                    kind=ResourceKind.TABLE,
-                    name=table.name,
-                    original_size=table.size,
-                    halved_stages=stages,
-                    hit_rate=profile.hit_rate(table.name),
-                    rate_table=table.name,
-                )
+        probes.append(
+            (
+                ResourceKind.TABLE,
+                table.name,
+                table.size,
+                table.name,
+                program.with_table_size(table.name, table.size // 2),
             )
+        )
     for register in program.registers.values():
         if register.size < 2:
             continue
         owners = program.tables_accessing_register(register.name)
         if not owners:
             continue
-        stages = _stages(
-            program.with_register_size(register.name, register.size // 2),
-            target,
-            session,
+        probes.append(
+            (
+                ResourceKind.REGISTER,
+                register.name,
+                register.size,
+                owners[0],
+                program.with_register_size(
+                    register.name, register.size // 2
+                ),
+            )
         )
+    if session is not None:
+        probed_stages = [
+            result.stages_used
+            for result in session.compile_many(
+                [variant for *_rest, variant in probes]
+            )
+        ]
+    else:
+        probed_stages = [
+            compile_program(variant, target).stages_used
+            for *_rest, variant in probes
+        ]
+
+    candidates: List[MemoryCandidate] = []
+    for (kind, name, size, rate_table, _variant), stages in zip(
+        probes, probed_stages
+    ):
         if stages < baseline_stages:
-            owner = owners[0]
             candidates.append(
                 MemoryCandidate(
-                    kind=ResourceKind.REGISTER,
-                    name=register.name,
-                    original_size=register.size,
+                    kind=kind,
+                    name=name,
+                    original_size=size,
                     halved_stages=stages,
-                    hit_rate=profile.hit_rate(owner),
-                    rate_table=owner,
+                    hit_rate=profile.hit_rate(rate_table),
+                    rate_table=rate_table,
                 )
             )
     candidates.sort(

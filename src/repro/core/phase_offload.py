@@ -310,30 +310,45 @@ def evaluate_candidates(
 
     With a ``session``, every variant compile/profile is memoized — the
     accepted variant's later re-profile by the orchestrator (and repeat
-    evaluations across re-runs on the same session) cost nothing.
+    evaluations across re-runs on the same session) cost nothing.  The
+    variants are independent, so they are evaluated as one mixed
+    :meth:`~repro.core.session.OptimizationContext.probe_many` batch:
+    compiles and trace replays of all candidates run concurrently when
+    the session has workers, with results and counters identical to the
+    serial loop.
     """
     if session is None:
         session = OptimizationContext(program, config, trace, target)
     if baseline_stages is None:
         baseline_stages = session.compile(program).stages_used
-    evaluated: List[EvaluatedCandidate] = []
+
+    # Build every redirect variant up front (pure rewriting), then
+    # batch-probe: one compile and one replay per candidate.
+    redirect_table = unique_redirect_name(program)
+    variants: List[Tuple[Program, "RuntimeConfig"]] = []
     for candidate in candidates:
-        redirect_table = unique_redirect_name(program)
         modified = make_offloaded_program(
             program, candidate, table_name=redirect_table
         )
-        stages = session.compile(modified).stages_used
         remaining = [
             t for t in modified.tables if t not in candidate.tables
         ]
-        adapted = config.restricted_to(remaining)
-        profile = session.profile(modified, adapted)
+        variants.append((modified, config.restricted_to(remaining)))
+
+    compiled, profiled = session.probe_many(
+        programs=[modified for modified, _adapted in variants],
+        variants=variants,
+    )
+    evaluated: List[EvaluatedCandidate] = []
+    for candidate, (modified, _adapted), result, (profile, _perf) in zip(
+        candidates, variants, compiled, profiled
+    ):
         evaluated.append(
             EvaluatedCandidate(
                 candidate=candidate,
                 program=modified,
                 stages_before=baseline_stages,
-                stages_after=stages,
+                stages_after=result.stages_used,
                 redirect_fraction=profile.apply_rate(redirect_table),
                 redirect_table=redirect_table,
             )

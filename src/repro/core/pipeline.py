@@ -75,6 +75,10 @@ class P2GOResult:
     #: Compile/profile invocation counters of the run's session: how many
     #: times the phases asked, how many times the memo cache answered.
     session_counters: Optional[SessionCounters] = None
+    #: Worker count the run's session probed candidates with (1 = serial).
+    #: Metadata only: the optimization outcome is identical for any value
+    #: (``tests/test_parallel.py`` pins that).
+    workers: int = 1
 
     @property
     def stages_before(self) -> int:
@@ -100,7 +104,10 @@ class P2GO:
     monitoring) share one compile/profile cache; by default each run gets
     a fresh :class:`~repro.core.session.OptimizationContext`.
     ``memoize=False`` disables the cache (every probe recompiles and
-    re-replays — the benchmark's reference mode).
+    re-replays — the benchmark's reference mode).  ``workers`` sets how
+    many candidates the phases probe concurrently (None defers to the
+    ``P2GO_WORKERS`` environment variable, then to 1 — the serial path;
+    the result is identical either way).
     """
 
     def __init__(
@@ -117,6 +124,7 @@ class P2GO:
         review_hook: Optional[ReviewHook] = None,
         session: Optional[OptimizationContext] = None,
         memoize: bool = True,
+        workers: Optional[int] = None,
     ):
         program.validate()
         config.validate(program)
@@ -132,6 +140,7 @@ class P2GO:
         self.review_hook = review_hook
         self.session = session
         self.memoize = memoize
+        self.workers = workers
 
     # ------------------------------------------------------------------
     def build_passes(self) -> List[OptimizationPass]:
@@ -167,6 +176,7 @@ class P2GO:
     def run(self) -> P2GOResult:
         passes = self.build_passes()
         ctx = self.session
+        owns_session = ctx is None
         if ctx is None:
             ctx = OptimizationContext(
                 self.program,
@@ -174,12 +184,27 @@ class P2GO:
                 self.trace,
                 self.target,
                 memoize=self.memoize,
+                workers=self.workers,
             )
         else:
             # An injected (possibly shared) session starts this run from
             # our inputs but keeps its memo cache and counters.
             ctx.program = self.program
             ctx.config = self.config
+            if self.workers is not None:
+                from repro.core.session import resolve_workers
+
+                ctx.workers = resolve_workers(self.workers)
+        try:
+            return self._run_phases(ctx, passes)
+        finally:
+            if owns_session:
+                # Release worker pools; the result keeps the counters.
+                ctx.close()
+
+    def _run_phases(
+        self, ctx: OptimizationContext, passes: List[OptimizationPass]
+    ) -> P2GOResult:
         log = ObservationLog()
 
         # Phase 1: profiling (batched replay through the flow-cache
@@ -236,6 +261,7 @@ class P2GO:
             ),
             profiling_perf=profiling_perf,
             session_counters=ctx.counters,
+            workers=ctx.workers,
         )
 
 

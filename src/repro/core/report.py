@@ -76,8 +76,14 @@ def render_report(result: P2GOResult) -> str:
             )
         lines.append("")
     if result.session_counters is not None:
+        workers = (
+            f" ({result.workers} workers)" if result.workers > 1 else ""
+        )
         lines.append(
-            "compile/profile session: " + result.session_counters.render()
+            "compile/profile session"
+            + workers
+            + ": "
+            + result.session_counters.render()
         )
         lines.append("")
     optimizations = result.observations.optimizations()

@@ -19,15 +19,20 @@ Keying:
 * **Programs** are keyed by the SHA-1 of their printed DSL
   (:func:`~repro.p4.dsl.print_program` is a faithful round-trippable
   serialization; ``tests/test_dsl_roundtrip.py`` pins that).  The digest
-  is cached per object, so a program is printed at most once per
-  session; programs handed to the session are treated as immutable, the
-  contract every phase already honours (rewrites clone).
+  is cached per object in a bounded LRU (evicted programs are simply
+  re-printed on the next ask), so long runs do not retain every rejected
+  candidate AST; programs handed to the session are treated as
+  immutable, the contract every phase already honours (rewrites clone).
 * **Configs** are keyed by their canonical content (sorted entries,
   default overrides, register inits, engine switches) — *not* by the
   ``mutations`` stamp, so two ``restricted_to`` results with equal
   content share one cache line.
-* **Profiles** are keyed by (program key, config key); the session holds
-  exactly one trace, which is part of its identity.
+* **Profiles** are keyed by (program key, config key, trace key).  The
+  trace key is recomputed whenever ``ctx.trace`` is assigned, so a
+  session whose trace is swapped (e.g. after an
+  :class:`~repro.core.online.OnlineProfiler` drift alert) never serves
+  profiles recorded on the old traffic.  In-place mutation of the trace
+  list bypasses the setter — assign a new trace instead.
 
 The session also carries:
 
@@ -35,21 +40,59 @@ The session also carries:
   ``compile()`` / ``profile()`` call is counted, split into memo hits
   and actual executions — the numbers ``P2GOResult`` and the pipeline
   benchmark report.
-* **Per-window profiling perf**: each actual profiling replay's
-  :class:`~repro.sim.perf.PerfCounters` are recorded;
-  :meth:`OptimizationContext.start_perf_window` /
-  :meth:`~OptimizationContext.take_perf_window` let the pass manager
-  attribute replay cost to the phase that paid it.
+* **Per-window profiling perf**: while a window is open
+  (:meth:`OptimizationContext.start_perf_window` …
+  :meth:`~OptimizationContext.take_perf_window`), each actual profiling
+  replay's :class:`~repro.sim.perf.PerfCounters` are recorded, letting
+  the pass manager attribute replay cost to the phase that paid it.
+  Replays outside any window (e.g. during pipeline setup or by a
+  co-resident :class:`~repro.core.online.OnlineProfiler`) are
+  deliberately *not* attributed anywhere.
 * **Transactional state**: ``propose(program, config)`` stages a
   candidate optimization, ``commit()`` makes it the session's current
   state, ``rollback()`` discards it — so a review-hook rejection is a
   real rollback of proposed state, not a change that was silently never
-  applied.
+  applied.  Transactions are serial-only: opening a proposal and then
+  batch-probing is an error (see below).
+
+Parallel candidate probing
+--------------------------
+
+Phase 3/4 candidate evaluation is an embarrassingly parallel map —
+compile + trace-replay per independent variant — so the session exposes
+batch probes next to the serial ones:
+
+* :meth:`OptimizationContext.compile_many` — compile a batch of
+  candidate programs concurrently (``ProcessPoolExecutor``; compiles
+  are pure CPU and pickle cleanly);
+* :meth:`OptimizationContext.profile_many` /
+  :meth:`~OptimizationContext.profile_many_with_perf` — replay a batch
+  of (program, config) variants concurrently (processes by default,
+  threads via ``P2GO_REPLAY_EXECUTOR=thread`` or
+  ``replay_executor="thread"``);
+* :meth:`OptimizationContext.probe_many` — one mixed wave of both.
+
+Concurrency contract (also DESIGN.md §9): worker tasks are *pure* —
+they receive pickled/shared immutable inputs and return results; every
+cache insert, counter increment, and perf-window append happens in the
+caller's thread after the futures resolve, in **submission order**, so
+results land in the shared memo cache exactly as if probed serially.
+Equal-fingerprint candidates within a batch are deduplicated in flight
+(one execution, both callers get the cached result — identical to what
+the serial loop's memo cache would do).  The worker count comes from the
+``workers=`` knob (constructor or per-call) or the ``P2GO_WORKERS``
+environment variable; ``workers=1`` falls back to today's serial path
+bit-for-bit.  Batches refuse to run while a proposal is open, and the
+session supports one batch at a time (it is not itself a thread-safe
+object — the batch API *is* the concurrency mechanism).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+from collections import OrderedDict
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -61,6 +104,15 @@ from repro.sim.runtime import RuntimeConfig
 from repro.target.compiler import CompileResult, compile_program
 from repro.target.model import DEFAULT_TARGET, TargetModel
 from repro.traffic.generators import TracePacket
+
+#: Environment variable consulted when no ``workers=`` knob is given.
+WORKERS_ENV = "P2GO_WORKERS"
+#: Environment variable selecting the replay executor kind
+#: ("process", the default, or "thread").
+REPLAY_EXECUTOR_ENV = "P2GO_REPLAY_EXECUTOR"
+#: Bound on the per-object program-digest cache (satellite of ISSUE 4:
+#: an unbounded cache kept every rejected candidate AST alive).
+DEFAULT_PROGRAM_KEY_CACHE = 256
 
 
 def program_fingerprint(program: Program) -> str:
@@ -90,6 +142,68 @@ def config_fingerprint(config: RuntimeConfig) -> Tuple:
         config.enable_compiled_tables,
         config.flow_cache_capacity,
     )
+
+
+def trace_fingerprint(trace: Sequence[TracePacket]) -> str:
+    """Content key of a trace: SHA-1 over packet bytes + ingress ports."""
+    digest = hashlib.sha1()
+    for packet in trace:
+        if isinstance(packet, tuple):
+            data, port = packet
+        else:
+            data, port = packet, 0
+        digest.update(port.to_bytes(4, "big"))
+        digest.update(len(data).to_bytes(4, "big"))
+        digest.update(data)
+    return digest.hexdigest()
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """The effective worker count: explicit knob > ``P2GO_WORKERS`` > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"{WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def resolve_replay_executor(kind: Optional[str] = None) -> str:
+    """Replay pool kind: explicit knob > ``P2GO_REPLAY_EXECUTOR`` >
+    ``"process"``."""
+    if kind is None:
+        kind = os.environ.get(REPLAY_EXECUTOR_ENV, "").strip() or "process"
+    if kind not in ("process", "thread"):
+        raise ValueError(
+            f"replay executor must be 'process' or 'thread', got {kind!r}"
+        )
+    return kind
+
+
+# ----------------------------------------------------------------------
+# Worker tasks.  Module-level and pure so they pickle for process pools:
+# all session state (caches, counters, windows) is merged by the caller
+# after the futures resolve, never touched from a worker.
+
+
+def _compile_task(program: Program, target: TargetModel) -> CompileResult:
+    return compile_program(program, target)
+
+
+def _replay_task(
+    program: Program,
+    config: RuntimeConfig,
+    trace: Sequence[TracePacket],
+) -> Tuple[Profile, PerfCounters]:
+    run = Profiler(program, config).run(trace)
+    return run.profile, run.perf
 
 
 @dataclass
@@ -155,6 +269,11 @@ def merge_perf(counters: Sequence[PerfCounters]) -> Optional[PerfCounters]:
     return merged
 
 
+#: A batch-probe variant: (program, config), either may be None for the
+#: session's current state.
+ProfileVariant = Tuple[Optional[Program], Optional[RuntimeConfig]]
+
+
 class OptimizationContext:
     """Current optimization state plus the memoizing compile/profile
     session every phase shares.
@@ -162,6 +281,13 @@ class OptimizationContext:
     ``memoize=False`` keeps the counters and the transactional state but
     executes every call — the mode the seed-orchestrator reference and
     the pipeline benchmark use to measure what the memo cache saves.
+
+    ``workers`` sets the default parallelism of the batch probes
+    (:meth:`compile_many`, :meth:`profile_many`, :meth:`probe_many`);
+    None defers to the ``P2GO_WORKERS`` environment variable and, when
+    that is unset too, to 1 — the serial path.  Worker pools are created
+    lazily on the first parallel batch and released by :meth:`close`
+    (the session is also a context manager).
     """
 
     def __init__(
@@ -171,24 +297,61 @@ class OptimizationContext:
         trace: Sequence[TracePacket],
         target: TargetModel = DEFAULT_TARGET,
         memoize: bool = True,
+        workers: Optional[int] = None,
+        replay_executor: Optional[str] = None,
+        program_key_cache_size: int = DEFAULT_PROGRAM_KEY_CACHE,
     ):
+        if program_key_cache_size < 1:
+            raise ValueError("program_key_cache_size must be >= 1")
         self.program = program
         self.config = config
-        self.trace = list(trace)
         self.target = target
         self.memoize = memoize
+        self.workers = resolve_workers(workers)
+        self.replay_executor = resolve_replay_executor(replay_executor)
         self.counters = SessionCounters()
 
-        #: id(program) -> (strong ref, digest).  The strong ref keeps the
-        #: object alive so ids cannot be recycled mid-session.
-        self._program_keys: Dict[int, Tuple[Program, str]] = {}
+        #: id(program) -> (strong ref, digest), bounded LRU.  The strong
+        #: ref keeps the object alive while cached so ids cannot be
+        #: recycled; eviction merely costs a re-print on the next ask.
+        self._program_keys: "OrderedDict[int, Tuple[Program, str]]" = (
+            OrderedDict()
+        )
+        self._program_key_cache_size = program_key_cache_size
         self._compile_cache: Dict[Tuple[str, str], CompileResult] = {}
-        self._profile_cache: Dict[Tuple[str, Tuple], Profile] = {}
+        self._profile_cache: Dict[Tuple[str, Tuple, str], Profile] = {}
         #: Perf counters of the replay that produced each cached profile.
-        self._profile_perf: Dict[Tuple[str, Tuple], PerfCounters] = {}
+        self._profile_perf: Dict[Tuple[str, Tuple, str], PerfCounters] = {}
 
         self._pending: Optional[Tuple[Program, RuntimeConfig]] = None
-        self._window_perf: List[PerfCounters] = []
+        #: Open perf window, or None when no window is active (replays
+        #: outside a window are not attributed to any phase).
+        self._window_perf: Optional[List[PerfCounters]] = None
+
+        #: kind -> (size, executor); created lazily, released by close().
+        self._pools: Dict[str, Tuple[int, Executor]] = {}
+        self._batch_active = False
+
+        self.trace = trace  # via the property: computes the trace key
+
+    # ------------------------------------------------------------------
+    # Trace (profile-cache identity)
+
+    @property
+    def trace(self) -> List[TracePacket]:
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace: Sequence[TracePacket]) -> None:
+        """Swap the session trace; cached profiles are keyed on the old
+        trace's fingerprint and stop matching immediately."""
+        self._trace = list(trace)
+        self._trace_key = trace_fingerprint(self._trace)
+
+    @property
+    def trace_key(self) -> str:
+        """Content fingerprint of the current trace."""
+        return self._trace_key
 
     # ------------------------------------------------------------------
     # Content keys
@@ -196,13 +359,26 @@ class OptimizationContext:
     def program_key(self, program: Program) -> str:
         cached = self._program_keys.get(id(program))
         if cached is not None and cached[0] is program:
+            self._program_keys.move_to_end(id(program))
             return cached[1]
         digest = program_fingerprint(program)
         self._program_keys[id(program)] = (program, digest)
+        self._program_keys.move_to_end(id(program))
+        while len(self._program_keys) > self._program_key_cache_size:
+            self._program_keys.popitem(last=False)
         return digest
 
+    def _profile_key(
+        self, program: Program, config: RuntimeConfig
+    ) -> Tuple[str, Tuple, str]:
+        return (
+            self.program_key(program),
+            config_fingerprint(config),
+            self._trace_key,
+        )
+
     # ------------------------------------------------------------------
-    # Memoized compile / profile
+    # Memoized compile / profile (serial)
 
     def compile(self, program: Optional[Program] = None) -> CompileResult:
         """Compile ``program`` (default: the current program) against the
@@ -227,7 +403,8 @@ class OptimizationContext:
         config: Optional[RuntimeConfig] = None,
     ) -> Profile:
         """Profile ``program`` under ``config`` (defaults: current state)
-        on the session trace, memoized on (program, config) content."""
+        on the session trace, memoized on (program, config, trace)
+        content."""
         profile, _perf = self.profile_with_perf(program, config)
         return profile
 
@@ -244,32 +421,268 @@ class OptimizationContext:
         if config is None:
             config = self.config
         self.counters.profile_calls += 1
-        key = (self.program_key(program), config_fingerprint(config))
+        key = self._profile_key(program, config)
         if self.memoize:
             cached = self._profile_cache.get(key)
             if cached is not None:
                 return cached, self._profile_perf[key]
         self.counters.profile_executions += 1
-        run = Profiler(program, config).run(self.trace)
-        perf = run.perf
-        self._window_perf.append(perf)
+        profile, perf = _replay_task(program, config, self._trace)
+        self._attribute_perf(perf)
         if self.memoize:
-            self._profile_cache[key] = run.profile
+            self._profile_cache[key] = profile
             self._profile_perf[key] = perf
-        return run.profile, perf
+        return profile, perf
+
+    # ------------------------------------------------------------------
+    # Batch (parallel) probing
+
+    def compile_many(
+        self,
+        programs: Sequence[Program],
+        workers: Optional[int] = None,
+    ) -> List[CompileResult]:
+        """Compile a batch of candidate programs, concurrently when the
+        session (or the ``workers`` override) allows more than one
+        worker.  Results, counters, and memo state are identical to
+        calling :meth:`compile` on each program in order."""
+        results, _ = self.probe_many(programs=programs, workers=workers)
+        return results
+
+    def profile_many(
+        self,
+        variants: Sequence[ProfileVariant],
+        workers: Optional[int] = None,
+    ) -> List[Profile]:
+        """Profile a batch of (program, config) variants on the session
+        trace; see :meth:`profile_many_with_perf`."""
+        return [
+            profile
+            for profile, _perf in self.profile_many_with_perf(
+                variants, workers=workers
+            )
+        ]
+
+    def profile_many_with_perf(
+        self,
+        variants: Sequence[ProfileVariant],
+        workers: Optional[int] = None,
+    ) -> List[Tuple[Profile, PerfCounters]]:
+        """Batch :meth:`profile_with_perf`: replay independent variants
+        concurrently.  Results, counters, memo state, and perf-window
+        attribution are identical to the serial loop (merged in
+        submission order, not completion order)."""
+        _, results = self.probe_many(variants=variants, workers=workers)
+        return results
+
+    def probe_many(
+        self,
+        programs: Sequence[Program] = (),
+        variants: Sequence[ProfileVariant] = (),
+        workers: Optional[int] = None,
+    ) -> Tuple[List[CompileResult], List[Tuple[Profile, PerfCounters]]]:
+        """One mixed wave of compile and replay probes.
+
+        Compiles run on the process pool, replays on the replay pool
+        (processes by default, threads via ``replay_executor``), all
+        concurrently.  With one worker — or a single probe — this *is*
+        the serial path: the same :meth:`compile` /
+        :meth:`profile_with_perf` calls, in order.
+
+        Raises :class:`RuntimeError` while a proposal is open
+        (transactions are serial-only) and on re-entrant batches.
+        """
+        programs = list(programs)
+        variants = [
+            (
+                program if program is not None else self.program,
+                config if config is not None else self.config,
+            )
+            for program, config in variants
+        ]
+        if self._pending is not None:
+            raise RuntimeError(
+                "batch probing is not allowed while a proposal is open; "
+                "commit or roll back first (transactions are serial-only)"
+            )
+        if self._batch_active:
+            raise RuntimeError(
+                "re-entrant batch probe; the session runs one batch at a "
+                "time"
+            )
+        workers = (
+            self.workers if workers is None else resolve_workers(workers)
+        )
+        if workers == 1 or len(programs) + len(variants) <= 1:
+            return (
+                [self.compile(program) for program in programs],
+                [
+                    self.profile_with_perf(program, config)
+                    for program, config in variants
+                ],
+            )
+        self._batch_active = True
+        try:
+            return self._probe_parallel(programs, variants, workers)
+        finally:
+            self._batch_active = False
+
+    def _probe_parallel(
+        self,
+        programs: List[Program],
+        variants: List[Tuple[Program, RuntimeConfig]],
+        workers: int,
+    ) -> Tuple[List[CompileResult], List[Tuple[Profile, PerfCounters]]]:
+        compile_keys = [
+            (self.program_key(program), self.target.name)
+            for program in programs
+        ]
+        profile_keys = [
+            self._profile_key(program, config)
+            for program, config in variants
+        ]
+        self.counters.compile_calls += len(programs)
+        self.counters.profile_calls += len(variants)
+
+        # Submission wave: one future per key that needs an execution,
+        # deduplicating in-flight keys (and, under memoize, keys already
+        # answered by the cache).  Without memoization every call
+        # executes — exactly like the serial path.
+        compile_futures: "OrderedDict" = OrderedDict()
+        profile_futures: "OrderedDict" = OrderedDict()
+        compile_pool = replay_pool = None
+        for (program, key) in zip(programs, compile_keys):
+            if self.memoize and key in self._compile_cache:
+                continue
+            if key in compile_futures:
+                if self.memoize:
+                    continue
+            if compile_pool is None:
+                compile_pool = self._pool("compile", workers)
+            future = compile_pool.submit(_compile_task, program, self.target)
+            compile_futures.setdefault(key, []).append(future)
+        for (program, config), key in zip(variants, profile_keys):
+            if self.memoize and key in self._profile_cache:
+                continue
+            if key in profile_futures:
+                if self.memoize:
+                    continue
+            if replay_pool is None:
+                replay_pool = self._pool("replay", workers)
+            future = replay_pool.submit(
+                _replay_task, program, config, self._trace
+            )
+            profile_futures.setdefault(key, []).append(future)
+
+        # Merge wave, in the caller's thread, in submission order.
+        compile_results: Dict[Tuple, CompileResult] = {}
+        executed = 0
+        for key, futures in compile_futures.items():
+            for future in futures:
+                compile_results.setdefault(key, future.result())
+                executed += 1
+                if self.memoize:
+                    self._compile_cache[key] = compile_results[key]
+        self.counters.compile_executions += executed
+
+        profile_results: Dict[Tuple, Tuple[Profile, PerfCounters]] = {}
+        executed = 0
+        for key, futures in profile_futures.items():
+            for future in futures:
+                profile, perf = future.result()
+                profile_results.setdefault(key, (profile, perf))
+                executed += 1
+                self._attribute_perf(perf)
+                if self.memoize:
+                    self._profile_cache[key] = profile
+                    self._profile_perf[key] = perf
+        self.counters.profile_executions += executed
+
+        def compiled(key: Tuple) -> CompileResult:
+            if key in compile_results:
+                return compile_results[key]
+            return self._compile_cache[key]
+
+        def profiled(key: Tuple) -> Tuple[Profile, PerfCounters]:
+            if key in profile_results:
+                return profile_results[key]
+            return self._profile_cache[key], self._profile_perf[key]
+
+        return (
+            [compiled(key) for key in compile_keys],
+            [profiled(key) for key in profile_keys],
+        )
+
+    # ------------------------------------------------------------------
+    # Worker pools
+
+    def _pool(self, kind: str, workers: int) -> Executor:
+        """The lazily-created pool for ``kind`` ("compile"/"replay"),
+        grown (recreated) when a batch asks for more workers."""
+        existing = self._pools.get(kind)
+        if existing is not None:
+            size, pool = existing
+            if size >= workers:
+                return pool
+            pool.shutdown(wait=True)
+            del self._pools[kind]
+        use_processes = kind == "compile" or self.replay_executor == "process"
+        pool = self._make_pool(workers, use_processes)
+        self._pools[kind] = (workers, pool)
+        return pool
+
+    @staticmethod
+    def _make_pool(workers: int, use_processes: bool) -> Executor:
+        if use_processes:
+            try:
+                return ProcessPoolExecutor(max_workers=workers)
+            except (ImportError, NotImplementedError, OSError):
+                # No multiprocessing primitives on this platform (e.g. a
+                # sandbox without sem_open); threads still overlap the
+                # pure-Python probes' I/O-free work correctly, just
+                # without bypassing the GIL.
+                pass
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def close(self) -> None:
+        """Release the worker pools (memo caches and counters survive;
+        pools are recreated lazily if the session batches again)."""
+        pools = list(self._pools.values())
+        self._pools.clear()
+        for _size, pool in pools:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "OptimizationContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown ordering
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Per-phase perf attribution
 
+    def _attribute_perf(self, perf: PerfCounters) -> None:
+        if self._window_perf is not None:
+            self._window_perf.append(perf)
+
     def start_perf_window(self) -> None:
-        """Begin attributing replay perf to a new window (one phase)."""
+        """Begin attributing replay perf to a new window (one phase).
+        Replays before the first window (pipeline setup, online
+        monitoring) are not attributed anywhere."""
         self._window_perf = []
 
     def take_perf_window(self) -> Optional[PerfCounters]:
         """Merged perf of every actual replay since the window started
-        (None when every profile in the window was a memo hit)."""
-        merged = merge_perf(self._window_perf)
-        self._window_perf = []
+        (None when every profile in the window was a memo hit, or when
+        no window was open), and close the window."""
+        merged = merge_perf(self._window_perf or [])
+        self._window_perf = None
         return merged
 
     # ------------------------------------------------------------------
@@ -288,7 +701,7 @@ class OptimizationContext:
 
         The session's current state is untouched until :meth:`commit`;
         :meth:`rollback` discards the proposal.  Only one proposal may be
-        open at a time.
+        open at a time, and batch probes refuse to run while one is.
         """
         if self._pending is not None:
             raise RuntimeError(

@@ -70,6 +70,18 @@ class HeaderCodec:
             self.unpack_at = self._unpack_at_generic
             self.pack_trusted = self._pack_trusted_generic
 
+    def __reduce__(self):
+        # The exec-compiled routines cannot be pickled (they live in no
+        # importable module), and a codec memoized onto a header type
+        # would otherwise make every simulated Program unpicklable —
+        # worker-pool probes ship programs to subprocesses.  Rebuild
+        # from the field layout on the receiving side instead.
+        fields = tuple(
+            HeaderField(fname, width)
+            for fname, width, _fmask in self._pack_spec
+        )
+        return (HeaderCodec, (self.name, fields))
+
     def _compile_unpack(self):
         items = ", ".join(
             f"{fname!r}: (a >> {shift}) & {fmask}" if shift

@@ -164,6 +164,34 @@ class TestOptimize:
         assert nat_apply.on_miss is not None
         assert "removed dependency" in report_path.read_text()
 
+    def test_optimize_workers_flag(self, toy_files, capsys):
+        prog_path, config_path, trace_path = toy_files
+        code = main(
+            [
+                "optimize",
+                str(prog_path),
+                "--config", str(config_path),
+                "--trace", str(trace_path),
+                "--workers", "2",
+            ]
+        )
+        assert code == 0
+        assert "(2 workers)" in capsys.readouterr().out
+
+    def test_optimize_workers_env(self, toy_files, capsys, monkeypatch):
+        prog_path, config_path, trace_path = toy_files
+        monkeypatch.setenv("P2GO_WORKERS", "2")
+        code = main(
+            [
+                "optimize",
+                str(prog_path),
+                "--config", str(config_path),
+                "--trace", str(trace_path),
+            ]
+        )
+        assert code == 0
+        assert "(2 workers)" in capsys.readouterr().out
+
 
 class TestDemo:
     def test_demo_nat_gre(self, capsys):

@@ -1,0 +1,374 @@
+"""Parallel candidate probing: batch API semantics and determinism.
+
+The concurrency contract (DESIGN.md §9): batch probes must land in the
+shared memo cache *exactly* as if probed serially — same results, same
+``SessionCounters``, same perf-window attribution (merged in submission
+order), in-flight dedup of equal-fingerprint candidates, and a hard
+error while a proposal is open.  On top of that, a full P2GO run must be
+canonically identical for ``workers=1`` and ``workers=4``.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.pipeline import P2GO
+from repro.core.session import (
+    OptimizationContext,
+    config_fingerprint,
+    merge_perf,
+    program_fingerprint,
+    resolve_workers,
+)
+from repro.programs import example_firewall as fw
+from repro.sim.flowcache import FlowCache, FlowVerdict
+from repro.target.model import DEFAULT_TARGET
+
+from .conftest import build_toy_program, toy_config
+
+#: Small trace: plenty for the firewall phases to fire, fast to replay.
+TRACE_PACKETS = 1200
+
+
+def make_trace():
+    from repro.packets.craft import udp_packet
+
+    return [
+        udp_packet("1.1.1.1", "10.0.0.9", 5, 53) for _ in range(4)
+    ] + [
+        udp_packet("2.2.2.2", "10.0.0.9", 5, 80) for _ in range(4)
+    ]
+
+
+def make_ctx(**kwargs):
+    return OptimizationContext(
+        build_toy_program(), toy_config(), make_trace(), DEFAULT_TARGET,
+        **kwargs,
+    )
+
+
+def toy_variants(program):
+    """Distinct probe programs: the toy program plus two resizes."""
+    return [
+        program,
+        program.with_table_size("fib", 32),
+        program.with_table_size("acl", 8),
+    ]
+
+
+def scrub_timing(text):
+    """Mask wall-clock-derived throughput figures: they differ between
+    any two runs (serial or not) and are not part of the result."""
+    return re.sub(r"[\d,.]+ packets/s", "<rate> packets/s", text)
+
+
+def canonical(result):
+    """Canonical byte serialization of everything a P2GO run decides:
+    program, config, counters, phase outcomes, observations.  Wall-clock
+    throughput is masked; everything else must match byte for byte."""
+    perfs = [
+        (
+            outcome.phase.name,
+            outcome.stages,
+            outcome.stage_map,
+            None
+            if outcome.profiling_perf is None
+            else (
+                outcome.profiling_perf.packets,
+                outcome.profiling_perf.cache_hits,
+                outcome.profiling_perf.cache_misses,
+                outcome.profiling_perf.cache_evictions,
+                sorted(outcome.profiling_perf.table_lookups.items()),
+            ),
+        )
+        for outcome in result.outcomes
+    ]
+    return repr(
+        (
+            program_fingerprint(result.optimized_program),
+            config_fingerprint(result.final_config),
+            result.session_counters.as_dict(),
+            result.offloaded_tables,
+            perfs,
+            [
+                (
+                    obs.phase.name,
+                    obs.kind.name,
+                    obs.title,
+                    scrub_timing(obs.details),
+                )
+                for obs in result.observations.items
+            ],
+        )
+    ).encode()
+
+
+class TestWorkerResolution:
+    def test_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv("P2GO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+        assert make_ctx().workers == 1
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("P2GO_WORKERS", "3")
+        assert resolve_workers() == 3
+        assert make_ctx().workers == 3
+
+    def test_knob_beats_env(self, monkeypatch):
+        monkeypatch.setenv("P2GO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+        assert make_ctx(workers=2).workers == 2
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv("P2GO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+
+class TestBatchSemantics:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_compile_many_matches_serial(self, workers):
+        serial = make_ctx(workers=1)
+        batch = make_ctx(workers=workers)
+        programs = toy_variants(serial.program)
+        expected = [serial.compile(p) for p in programs]
+        with batch:
+            got = batch.compile_many(toy_variants(batch.program))
+        assert [r.stages_used for r in got] == [
+            r.stages_used for r in expected
+        ]
+        assert [r.stage_map() for r in got] == [
+            r.stage_map() for r in expected
+        ]
+        assert batch.counters.as_dict() == serial.counters.as_dict()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_profile_many_matches_serial(self, workers):
+        serial = make_ctx(workers=1)
+        batch = make_ctx(workers=workers)
+        restricted = serial.config.restricted_to(["fib"])
+        serial.start_perf_window()
+        expected = [
+            serial.profile(),
+            serial.profile(config=restricted),
+        ]
+        serial_perf = serial.take_perf_window()
+        batch.start_perf_window()
+        with batch:
+            got = batch.profile_many(
+                [(None, None), (None, batch.config.restricted_to(["fib"]))]
+            )
+        batch_perf = batch.take_perf_window()
+        for ours, theirs in zip(got, expected):
+            assert ours.same_behavior_as(theirs)
+        assert batch.counters.as_dict() == serial.counters.as_dict()
+        assert batch_perf.packets == serial_perf.packets
+        assert batch_perf.cache_hits == serial_perf.cache_hits
+        assert batch_perf.table_lookups == serial_perf.table_lookups
+
+    def test_in_flight_dedup_one_execution(self):
+        ctx = make_ctx(workers=4)
+        with ctx:
+            a, b = ctx.compile_many(
+                [build_toy_program(), build_toy_program()]
+            )
+        assert a is b
+        assert ctx.counters.compile_calls == 2
+        assert ctx.counters.compile_executions == 1
+        assert ctx.counters.compile_hits == 1
+
+    def test_profile_dedup_and_memo_reuse(self):
+        ctx = make_ctx(workers=4)
+        with ctx:
+            first = ctx.profile_many([(None, None), (None, None)])
+            assert ctx.counters.profile_executions == 1
+            # A later batch is answered from the memo cache entirely.
+            again = ctx.profile_many([(None, None)])
+        assert first[0] is first[1]
+        assert again[0] is first[0]
+        assert ctx.counters.profile_calls == 3
+        assert ctx.counters.profile_executions == 1
+
+    def test_unmemoized_batch_executes_every_probe(self):
+        ctx = make_ctx(workers=4, memoize=False)
+        with ctx:
+            ctx.compile_many([ctx.program, build_toy_program()])
+            ctx.profile_many([(None, None), (None, None)])
+        assert ctx.counters.compile_executions == 2
+        assert ctx.counters.profile_executions == 2
+
+    def test_probe_many_mixed_wave(self):
+        ctx = make_ctx(workers=4)
+        ctx.start_perf_window()
+        with ctx:
+            compiled, profiled = ctx.probe_many(
+                programs=toy_variants(ctx.program),
+                variants=[(None, None)],
+            )
+        assert len(compiled) == 3 and len(profiled) == 1
+        assert ctx.counters.compile_executions == 3
+        assert ctx.counters.profile_executions == 1
+        window = ctx.take_perf_window()
+        assert window is not None
+        assert window.packets == len(ctx.trace)
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_batch_refused_during_transaction(self, workers):
+        ctx = make_ctx(workers=workers)
+        ctx.propose(program=ctx.program.with_table_size("fib", 32))
+        with pytest.raises(RuntimeError, match="serial-only"):
+            ctx.compile_many([ctx.program])
+        with pytest.raises(RuntimeError, match="serial-only"):
+            ctx.profile_many([(None, None)])
+        with pytest.raises(RuntimeError, match="serial-only"):
+            ctx.probe_many(programs=[ctx.program])
+        ctx.rollback()
+        with ctx:
+            assert len(ctx.compile_many([ctx.program])) == 1
+
+    def test_close_releases_pools_and_allows_reuse(self):
+        ctx = make_ctx(workers=2)
+        ctx.compile_many(toy_variants(ctx.program))
+        assert ctx._pools
+        ctx.close()
+        assert not ctx._pools
+        # The session still works after close (pools recreate lazily).
+        ctx.compile_many([ctx.program.with_table_size("fib", 16)])
+        ctx.close()
+
+    def test_batch_after_serial_profile(self):
+        """Regression: a serial profile memoizes exec-compiled header
+        codecs onto the program's header types; the program must still
+        pickle into worker processes afterwards."""
+        import pickle
+
+        ctx = make_ctx(workers=4)
+        ctx.profile()  # populates the per-header-type codec caches
+        assert pickle.loads(pickle.dumps(ctx.program)) is not None
+        with ctx:
+            compiled = ctx.compile_many(toy_variants(ctx.program))
+        assert len(compiled) == 3
+        assert ctx.counters.compile_executions == 3
+
+    def test_thread_replay_executor_knob(self):
+        ctx = make_ctx(workers=2, replay_executor="thread")
+        with ctx:
+            profiles = ctx.profile_many([(None, None), (None, None)])
+        assert profiles[0] is profiles[1]
+        with pytest.raises(ValueError):
+            make_ctx(replay_executor="fiber")
+
+
+class TestPipelineDeterminism:
+    """ISSUE 4 acceptance: P2GOResult is canonically identical for
+    workers=1 vs workers=4 across the example programs."""
+
+    @pytest.fixture(scope="class")
+    def firewall_inputs(self):
+        return (
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(TRACE_PACKETS),
+            fw.TARGET,
+        )
+
+    def run(self, inputs, workers):
+        program, config, trace, target = inputs
+        return P2GO(
+            fw.build_program(), fw.runtime_config(), trace, target,
+            workers=workers,
+        ).run()
+
+    def test_firewall_byte_identical(self, firewall_inputs):
+        serial = self.run(firewall_inputs, workers=1)
+        parallel = self.run(firewall_inputs, workers=4)
+        assert canonical(serial) == canonical(parallel)
+        assert serial.workers == 1 and parallel.workers == 4
+
+    def test_toy_byte_identical(self):
+        def run(workers):
+            return P2GO(
+                build_toy_program(), toy_config(), make_trace(),
+                DEFAULT_TARGET, workers=workers,
+            ).run()
+
+        assert canonical(run(1)) == canonical(run(4))
+
+    def test_report_renders_worker_count(self, firewall_inputs):
+        from repro.core.report import render_report
+
+        parallel = self.run(firewall_inputs, workers=4)
+        assert "compile/profile session (4 workers):" in render_report(
+            parallel
+        )
+
+
+class TestFlowCacheAccountingUnderWorkers:
+    """The flow cache's wholesale-flush eviction accounting must stay
+    correct when replays run in worker processes: each replay owns a
+    private cache, and the merged counters equal the serial run's."""
+
+    def test_put_flush_accounting(self):
+        verdict = FlowVerdict(
+            steps=(), writes=(), added=(), removed=(),
+            egress_port=1, dropped=False, to_controller=False,
+            controller_reason=0,
+        )
+        cache = FlowCache(capacity=2)
+        assert cache.put(("a",), verdict) is False
+        assert cache.put(("b",), verdict) is False
+        assert len(cache) == 2
+        # Re-inserting a resident key never flushes.
+        assert cache.put(("b",), verdict) is False
+        flushed = cache.put(("c",), verdict)
+        assert flushed is True
+        assert len(cache) == 1  # wholesale flush, then the new entry
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_eviction_counters_deterministic(self, workers):
+        program, config = build_toy_program(), toy_config()
+        config.flow_cache_capacity = 1  # force flush-evictions
+        trace = make_trace()
+        ctx = OptimizationContext(
+            program, config, trace, DEFAULT_TARGET, workers=workers,
+        )
+        ctx.start_perf_window()
+        with ctx:
+            ctx.profile_many(
+                [
+                    (None, None),
+                    (program.with_table_size("fib", 32), None),
+                ]
+            )
+        merged = ctx.take_perf_window()
+        assert merged.packets == 2 * len(trace)
+        assert merged.cache_evictions > 0
+        serial = OptimizationContext(
+            program, config, trace, DEFAULT_TARGET, workers=1
+        )
+        serial.start_perf_window()
+        serial.profile()
+        serial.profile(program.with_table_size("fib", 32))
+        expected = serial.take_perf_window()
+        assert merged.cache_evictions == expected.cache_evictions
+        assert merged.cache_hits == expected.cache_hits
+        assert merged.cache_misses == expected.cache_misses
+
+
+def test_merge_perf_submission_order_is_deterministic():
+    """merge_perf sums; the session feeds it submission-ordered perfs, so
+    equal multisets of replays merge to equal totals."""
+    from repro.sim.perf import PerfCounters
+
+    a = PerfCounters(packets=5, cache_hits=3, cache_misses=2,
+                     timed_packets=5, elapsed_seconds=0.5)
+    b = PerfCounters(packets=7, cache_hits=1, cache_misses=6,
+                     timed_packets=7, elapsed_seconds=0.25)
+    ab, ba = merge_perf([a, b]), merge_perf([b, a])
+    assert (ab.packets, ab.cache_hits, ab.cache_misses) == (
+        ba.packets, ba.cache_hits, ba.cache_misses
+    )

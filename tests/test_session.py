@@ -128,6 +128,92 @@ class TestMemoization:
         assert ctx.counters.profile_hits == 0
 
 
+class TestTraceIdentity:
+    """Regression: the profile memo must be keyed on the trace too — a
+    session whose trace is swapped (e.g. after an OnlineProfiler drift
+    alert) must not serve profiles recorded on the old traffic."""
+
+    def test_trace_swap_invalidates_profile_cache(self, ctx):
+        from repro.packets.craft import udp_packet
+
+        before = ctx.profile()
+        assert ctx.counters.profile_executions == 1
+        # Swap the trace: every packet now hits the ACL's DNS entry.
+        ctx.trace = [
+            udp_packet("3.3.3.3", "10.0.0.9", 5, 53) for _ in range(6)
+        ]
+        after = ctx.profile()
+        assert ctx.counters.profile_executions == 2
+        assert not before.same_behavior_as(after)
+        assert after.total_packets == 6
+
+    def test_trace_swap_back_is_a_memo_hit(self, ctx):
+        original = list(ctx.trace)
+        first = ctx.profile()
+        ctx.trace = original[:4]
+        ctx.profile()
+        assert ctx.counters.profile_executions == 2
+        # Swapping back to equal-content traffic restores the cache line.
+        ctx.trace = original
+        again = ctx.profile()
+        assert ctx.counters.profile_executions == 2
+        assert again is first
+
+    def test_trace_fingerprint_sees_ingress_port(self):
+        from repro.core.session import trace_fingerprint
+        from repro.packets.craft import udp_packet
+
+        packet = udp_packet("1.1.1.1", "10.0.0.9", 5, 53)
+        assert trace_fingerprint([packet]) == trace_fingerprint([packet])
+        assert trace_fingerprint([packet]) != trace_fingerprint(
+            [(packet, 7)]
+        )
+        assert trace_fingerprint([(packet, 0)]) == trace_fingerprint(
+            [packet]
+        )
+
+
+class TestProgramKeyCacheBound:
+    """Regression: the per-object digest cache held a strong ref to every
+    program ever probed, leaking each rejected candidate AST."""
+
+    def test_cache_is_bounded(self):
+        bound = 16
+        ctx = OptimizationContext(
+            build_toy_program(),
+            toy_config(),
+            make_trace(),
+            DEFAULT_TARGET,
+            program_key_cache_size=bound,
+        )
+        programs = [
+            ctx.program.with_table_size("fib", size)
+            for size in range(2, 2 + 3 * bound)
+        ]
+        keys = [ctx.program_key(program) for program in programs]
+        assert len(ctx._program_keys) <= bound
+        assert len(set(keys)) == len(programs)
+
+    def test_evicted_program_rekeys_consistently(self):
+        ctx = OptimizationContext(
+            build_toy_program(),
+            toy_config(),
+            make_trace(),
+            DEFAULT_TARGET,
+            program_key_cache_size=2,
+        )
+        program = ctx.program
+        first = ctx.program_key(program)
+        for size in range(2, 8):  # evict `program` from the LRU
+            ctx.program_key(program.with_table_size("fib", size))
+        assert ctx.program_key(program) == first
+
+    def test_default_bound_exists(self, ctx):
+        from repro.core.session import DEFAULT_PROGRAM_KEY_CACHE
+
+        assert ctx._program_key_cache_size == DEFAULT_PROGRAM_KEY_CACHE
+
+
 class TestTransactions:
     def test_commit_applies_proposal(self, ctx):
         resized = ctx.program.with_table_size("fib", 32)
@@ -175,6 +261,23 @@ class TestPerfWindows:
         # A memo hit pays nothing: the next window is empty.
         ctx.start_perf_window()
         ctx.profile()
+        assert ctx.take_perf_window() is None
+
+    def test_replay_before_first_window_is_not_attributed(self, ctx):
+        """Regression: replays during pipeline setup (before the first
+        ``start_perf_window``) must not leak into any phase's window."""
+        ctx.profile()  # setup replay, no window open
+        assert ctx.take_perf_window() is None
+
+    def test_replay_between_windows_is_not_attributed(self, ctx):
+        ctx.start_perf_window()
+        ctx.profile()
+        assert ctx.take_perf_window() is not None
+        # The window is closed now; a fresh replay on a new trace must
+        # not show up when the (never reopened) window is drained again.
+        ctx.trace = list(ctx.trace)[:4]
+        ctx.profile()
+        assert ctx.counters.profile_executions == 2
         assert ctx.take_perf_window() is None
 
     def test_merge_perf(self):
