@@ -12,12 +12,19 @@ Commands:
   flow-cache hit rate).  ``--no-cache`` forces the uncached reference
   interpreter.
 * ``optimize PROGRAM --config CFG --trace PCAP [--no-memo]
-  [--workers N]`` — the full pipeline; writes the optimized program
-  (DSL) and the observation report (which includes the session's
-  compile/profile invocation counters).  ``--no-memo`` disables the
+  [--workers N] [--store PATH | --no-store]`` — the full pipeline;
+  writes the optimized program (DSL) and the observation report (which
+  includes the session's compile/profile invocation counters and a
+  memo/disk/executed provenance line).  ``--no-memo`` disables the
   session memo cache; ``--workers`` probes independent candidates
   concurrently (default: the ``P2GO_WORKERS`` environment variable,
-  then 1 — the result is identical for any worker count).
+  then 1 — the result is identical for any worker count); ``--store``
+  warm-starts from (and persists to) a cross-run disk cache (default:
+  the ``P2GO_STORE`` environment variable, then no store;
+  ``--no-store`` forces a memory-only run).
+* ``store stats|clear [--store PATH]`` — inspect or empty the
+  persistent store (default root: ``$P2GO_STORE``, then
+  ``~/.cache/p2go``).
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
 
 Runtime-config JSON schema::
@@ -148,6 +155,10 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     target = load_target(args.target)
     trace = load_trace(args.trace)
     phases = tuple(int(p) for p in args.phases.split(","))
+    if args.no_store:
+        store = False
+    else:
+        store = args.store  # None defers to $P2GO_STORE
     result = P2GO(
         program,
         config,
@@ -157,6 +168,7 @@ def cmd_optimize(args: argparse.Namespace) -> int:
         max_redirect_fraction=args.max_redirect,
         memoize=not args.no_memo,
         workers=args.workers,
+        store=store,
     ).run()
     print(render_report(result))
     if args.output:
@@ -167,6 +179,41 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     if args.report:
         Path(args.report).write_text(render_report(result))
         print(f"report written to {args.report}")
+    return 0
+
+
+def _open_store(path: Optional[str]):
+    from repro.core.store import SessionStore, default_store_root
+
+    return SessionStore(path if path else default_store_root())
+
+
+def cmd_store_stats(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    stats = store.stats()
+    print(f"store root:        {stats['root']}")
+    print(f"schema / code:     v{stats['schema']} / {stats['code'][:12]}")
+    print(
+        f"entries:           {stats['compile_entries']} compile, "
+        f"{stats['profile_entries']} profile"
+    )
+    print(f"quarantined:       {stats['quarantine_entries']}")
+    print(
+        f"size:              {stats['total_bytes']:,} bytes "
+        f"(cap {stats['max_bytes']:,})"
+    )
+    if store.counters.resets:
+        print(
+            "note: store format mismatch — previous entries were "
+            "quarantined and the store restarted cold"
+        )
+    return 0
+
+
+def cmd_store_clear(args: argparse.Namespace) -> int:
+    store = _open_store(args.store)
+    removed = store.clear()
+    print(f"removed {removed} entries from {store.root}")
     return 0
 
 
@@ -254,9 +301,48 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "workers (default: $P2GO_WORKERS, then 1; the optimization "
         "result is identical for any value)",
     )
+    p_opt.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="warm-start from (and persist probes to) the cross-run "
+        "session store rooted here (default: $P2GO_STORE, then no "
+        "store); a second run over an unchanged program+trace performs "
+        "zero compiles and zero replays",
+    )
+    p_opt.add_argument(
+        "--no-store",
+        action="store_true",
+        help="memory-only run even when $P2GO_STORE is set",
+    )
     p_opt.add_argument("-o", "--output", help="write optimized DSL here")
     p_opt.add_argument("--report", help="write the report here")
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_store = sub.add_parser(
+        "store", help="inspect or clear the persistent session store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_stats = store_sub.add_parser(
+        "stats", help="print store census (entries, size, layout)"
+    )
+    p_stats.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="store root (default: $P2GO_STORE, then ~/.cache/p2go)",
+    )
+    p_stats.set_defaults(func=cmd_store_stats)
+    p_clear = store_sub.add_parser(
+        "clear", help="delete every stored entry (the layout survives)"
+    )
+    p_clear.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="store root (default: $P2GO_STORE, then ~/.cache/p2go)",
+    )
+    p_clear.set_defaults(func=cmd_store_clear)
 
     p_demo = sub.add_parser("demo", help="run a built-in scenario")
     p_demo.add_argument("name")

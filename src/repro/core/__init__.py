@@ -40,6 +40,10 @@ _EXPORTS = {
     "Profiler": "profiler",
     "ProfilingRun": "profiler",
     "SessionCounters": "session",
+    "SessionStore": "store",
+    "StoreCounters": "store",
+    "resolve_store": "store",
+    "default_store_root": "store",
     "resolve_workers": "session",
     "trace_fingerprint": "session",
     "instrument": "instrument",

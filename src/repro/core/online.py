@@ -15,8 +15,13 @@ observation:
   drops fire on one packet — a removed dependency just manifested),
 * a table's **windowed hit rate drifts** beyond tolerance.
 
-Reacting (re-running P2GO, reloading the program) stays with the caller,
-mirroring the paper's cost trade-off discussion.
+Reacting is the caller's decision, mirroring the paper's cost trade-off
+discussion — but once taken, :meth:`OnlineProfiler.reoptimize` re-runs
+P2GO on a trace of the drifted traffic *warm*: through the shared
+optimization session (and its persistent
+:class:`~repro.core.store.SessionStore`, when attached), every candidate
+whose content is unchanged is answered from cache instead of being
+recompiled or replayed.
 """
 
 from __future__ import annotations
@@ -91,6 +96,12 @@ class OnlineProfiler:
             self._instrumented.adapt_config(config),
         )
         self.program = program
+        self.config = config
+        #: The shared optimization session, when one was provided —
+        #: :meth:`reoptimize` re-runs P2GO through it so every candidate
+        #: the original run probed (and everything a persistent store
+        #: holds) is reused.
+        self.session = session
         self.baseline = baseline
         self.window = window
         self.hit_rate_tolerance = hit_rate_tolerance
@@ -178,6 +189,49 @@ class OnlineProfiler:
                 else:
                     self._drifting.discard(table)
         return result
+
+    # ------------------------------------------------------------------
+    def reoptimize(self, trace, *, store=None, target=None, **p2go_kwargs):
+        """Re-run P2GO on drifted traffic (§6's dynamic-compilation
+        loop: a drift alert means the optimization-time profile no
+        longer matches reality, so the program is re-optimized against
+        a trace of the *new* traffic).
+
+        With a shared ``session`` (the recommended setup: pass the
+        optimization run's session to this profiler), the re-run starts
+        warm — assigning the new trace re-keys the profile memo and any
+        pending disk hydration, so every candidate whose behaviour is
+        unchanged under the new traffic is served from the session memo
+        or the persistent store instead of being recompiled/replayed.
+        Without one, a fresh session is created; ``store`` (path,
+        :class:`~repro.core.store.SessionStore`, or None for
+        ``$P2GO_STORE``) lets that cold session still warm-start from
+        disk.  Returns the new :class:`~repro.core.pipeline.P2GOResult`.
+        """
+        from repro.core.pipeline import P2GO
+        from repro.target.model import DEFAULT_TARGET
+
+        trace = list(trace)
+        if self.session is not None:
+            # Re-keys the profile memo + disk hydration on the drifted
+            # traffic before any probe runs.
+            self.session.trace = trace
+            return P2GO(
+                self.program,
+                self.config,
+                trace,
+                self.session.target,
+                session=self.session,
+                **p2go_kwargs,
+            ).run()
+        return P2GO(
+            self.program,
+            self.config,
+            trace,
+            target if target is not None else DEFAULT_TARGET,
+            store=store,
+            **p2go_kwargs,
+        ).run()
 
     # ------------------------------------------------------------------
     def window_hit_rate(self, table: str) -> float:

@@ -41,6 +41,7 @@ from repro.core.phase_memory import MemoryReductionPass
 from repro.core.phase_offload import DEFAULT_MAX_REDIRECT, OffloadPass
 from repro.core.profiler import Profile
 from repro.core.session import OptimizationContext, SessionCounters
+from repro.core.store import resolve_store
 from repro.p4.program import Program
 from repro.sim.perf import PerfCounters
 from repro.sim.runtime import RuntimeConfig
@@ -79,6 +80,11 @@ class P2GOResult:
     #: Metadata only: the optimization outcome is identical for any value
     #: (``tests/test_parallel.py`` pins that).
     workers: int = 1
+    #: Census + counters of the persistent session store, when one was
+    #: attached (``store=``/``$P2GO_STORE``); None for memory-only runs.
+    #: Metadata only: the optimization outcome is identical with or
+    #: without a store (``tests/test_store.py`` pins that).
+    store_stats: Optional[dict] = None
 
     @property
     def stages_before(self) -> int:
@@ -108,6 +114,15 @@ class P2GO:
     many candidates the phases probe concurrently (None defers to the
     ``P2GO_WORKERS`` environment variable, then to 1 — the serial path;
     the result is identical either way).
+
+    ``store`` warm-starts the run from a persistent cross-run cache
+    (:class:`~repro.core.store.SessionStore`): pass a store instance or
+    a directory path; ``None`` (the default) uses ``$P2GO_STORE`` when
+    set and no store otherwise; ``False`` disables the store even when
+    the environment variable is set.  A second run over an unchanged
+    program + config + trace is served entirely from disk — zero
+    compiles, zero replays.  When a ``session`` is injected its own
+    store (or lack of one) is respected and ``store`` is ignored.
     """
 
     def __init__(
@@ -125,6 +140,7 @@ class P2GO:
         session: Optional[OptimizationContext] = None,
         memoize: bool = True,
         workers: Optional[int] = None,
+        store=None,
     ):
         program.validate()
         config.validate(program)
@@ -141,6 +157,7 @@ class P2GO:
         self.session = session
         self.memoize = memoize
         self.workers = workers
+        self.store = store
 
     # ------------------------------------------------------------------
     def build_passes(self) -> List[OptimizationPass]:
@@ -185,22 +202,38 @@ class P2GO:
                 self.target,
                 memoize=self.memoize,
                 workers=self.workers,
+                store=resolve_store(self.store),
             )
         else:
             # An injected (possibly shared) session starts this run from
-            # our inputs but keeps its memo cache and counters.
+            # our inputs but keeps its memo cache, counters, and store.
             ctx.program = self.program
             ctx.config = self.config
+            # Re-key the profile memo and any pending disk hydration on
+            # this run's trace: a shared session previously replayed
+            # other traffic (e.g. before an OnlineProfiler drift alert)
+            # must not serve profiles recorded on it.  Equal-content
+            # traces hash to the same key, so this never costs a cached
+            # run anything.
+            ctx.trace = self.trace
             if self.workers is not None:
                 from repro.core.session import resolve_workers
 
                 ctx.workers = resolve_workers(self.workers)
         try:
-            return self._run_phases(ctx, passes)
+            result = self._run_phases(ctx, passes)
         finally:
             if owns_session:
-                # Release worker pools; the result keeps the counters.
+                # Flush store write-backs and release worker pools; the
+                # result keeps the counters.
                 ctx.close()
+            else:
+                # A shared session stays open, but this run's executed
+                # probes persist now so another process can warm-start.
+                ctx.flush_store()
+        if ctx.store is not None:
+            result.store_stats = ctx.store.stats()
+        return result
 
     def _run_phases(
         self, ctx: OptimizationContext, passes: List[OptimizationPass]

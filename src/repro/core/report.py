@@ -85,6 +85,44 @@ def render_report(result: P2GOResult) -> str:
             + ": "
             + result.session_counters.render()
         )
+        counters = result.session_counters
+        lines.append(
+            "result provenance: "
+            f"compile memo {counters.compile_hits} / "
+            f"disk {counters.compile_disk_hits} / "
+            f"executed {counters.compile_executions}; "
+            f"profile memo {counters.profile_hits} / "
+            f"disk {counters.profile_disk_hits} / "
+            f"executed {counters.profile_executions}"
+        )
+        lines.append("")
+    if result.store_stats is not None:
+        stats = result.store_stats
+        store_counters = stats["counters"]
+        lines.append(
+            f"persistent store: {stats['root']} — "
+            f"{stats['compile_entries']} compile + "
+            f"{stats['profile_entries']} profile entries, "
+            f"{stats['total_bytes']:,} bytes "
+            f"({store_counters['writes']} writes, "
+            f"{store_counters['evictions']} evictions this run)"
+        )
+        if store_counters["resets"]:
+            lines.append(
+                "  note: store format mismatch (schema or code "
+                "fingerprint) — previous entries quarantined, this run "
+                "started cold"
+            )
+        if store_counters["quarantined"]:
+            lines.append(
+                f"  note: {store_counters['quarantined']} corrupt "
+                "store entries quarantined (served as cold misses)"
+            )
+        if store_counters["errors"]:
+            lines.append(
+                f"  note: {store_counters['errors']} store I/O errors "
+                "ignored (the store degrades, it never fails a run)"
+            )
         lines.append("")
     optimizations = result.observations.optimizations()
     lines.append(f"applied optimizations: {len(optimizations)}")

@@ -72,6 +72,36 @@ batch probes next to the serial ones:
   ``replay_executor="thread"``);
 * :meth:`OptimizationContext.probe_many` — one mixed wave of both.
 
+Persistent store (disk tier)
+----------------------------
+
+``store=`` attaches a :class:`~repro.core.store.SessionStore`: a
+disk-backed, content-addressed second tier behind the memo cache (the
+keys are the same fingerprints, so the two tiers can never disagree).
+The lookup order on every probe is **memo → disk → execute**:
+
+* a *memo hit* costs a dict lookup (counted in ``compile_hits`` /
+  ``profile_hits``);
+* a *disk hit* unpickles the entry, hydrates the memo cache, and is
+  counted separately (``compile_disk_hits`` / ``profile_disk_hits``) —
+  it is **not** an execution and is never attributed to a perf window
+  (the replay cost was paid by whichever run wrote the entry);
+* an *execution* runs the compiler / replays the trace and queues the
+  result for write-back.
+
+Serial write-back is buffered and flushed on :meth:`commit` and
+:meth:`close` (the probes' keys are captured at execution time, so a
+later trace swap cannot mis-key them); the :meth:`probe_many` merge
+wave flushes executed probes immediately so parallel waves persist even
+if the run is killed mid-phase.  Disk misses are remembered per key to
+avoid re-statting the store in tight probe loops; the trace setter
+drops the remembered *profile* misses (a drift-triggered re-run swaps
+the trace, and miss knowledge recorded under the old traffic — or
+before a concurrent writer persisted new entries — must not suppress
+re-keyed disk lookups; ``tests/test_session.py`` pins this next to the
+PR 4 stale-profile regression).  With ``memoize=False`` the store is
+inert in both directions: that mode exists to measure real executions.
+
 Concurrency contract (also DESIGN.md §9): worker tasks are *pure* —
 they receive pickled/shared immutable inputs and return results; every
 cache insert, counter increment, and perf-window append happens in the
@@ -94,9 +124,10 @@ import os
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.profiler import Profile, Profiler
+from repro.core.store import SessionStore
 from repro.p4.dsl.printer import print_program
 from repro.p4.program import Program
 from repro.sim.perf import PerfCounters
@@ -215,37 +246,56 @@ class SessionCounters:
     compile_calls: int = 0
     #: Calls that actually ran :func:`compile_program`.
     compile_executions: int = 0
+    #: Calls answered by the persistent disk store (not executions; the
+    #: cost was paid by whichever run wrote the entry).
+    compile_disk_hits: int = 0
     #: ``profile()`` calls, total.
     profile_calls: int = 0
     #: Calls that actually replayed the trace.
     profile_executions: int = 0
+    #: Calls answered by the persistent disk store.
+    profile_disk_hits: int = 0
 
     @property
     def compile_hits(self) -> int:
-        return self.compile_calls - self.compile_executions
+        """In-memory memo hits (disk hits are counted separately)."""
+        return (
+            self.compile_calls
+            - self.compile_executions
+            - self.compile_disk_hits
+        )
 
     @property
     def profile_hits(self) -> int:
-        return self.profile_calls - self.profile_executions
+        """In-memory memo hits (disk hits are counted separately)."""
+        return (
+            self.profile_calls
+            - self.profile_executions
+            - self.profile_disk_hits
+        )
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "compile_calls": self.compile_calls,
             "compile_executions": self.compile_executions,
             "compile_hits": self.compile_hits,
+            "compile_disk_hits": self.compile_disk_hits,
             "profile_calls": self.profile_calls,
             "profile_executions": self.profile_executions,
             "profile_hits": self.profile_hits,
+            "profile_disk_hits": self.profile_disk_hits,
         }
 
     def render(self) -> str:
         return (
             f"compile: {self.compile_calls} calls, "
             f"{self.compile_executions} executed "
-            f"({self.compile_hits} memo hits); "
+            f"({self.compile_hits} memo hits, "
+            f"{self.compile_disk_hits} disk hits); "
             f"profile: {self.profile_calls} calls, "
             f"{self.profile_executions} executed "
-            f"({self.profile_hits} memo hits)"
+            f"({self.profile_hits} memo hits, "
+            f"{self.profile_disk_hits} disk hits)"
         )
 
 
@@ -288,6 +338,11 @@ class OptimizationContext:
     that is unset too, to 1 — the serial path.  Worker pools are created
     lazily on the first parallel batch and released by :meth:`close`
     (the session is also a context manager).
+
+    ``store`` attaches a :class:`~repro.core.store.SessionStore` disk
+    tier behind the memo cache (lookup order memo → disk → execute;
+    executed probes are written back on commit/close and after each
+    parallel wave).  Inert when ``memoize=False``.
     """
 
     def __init__(
@@ -300,6 +355,7 @@ class OptimizationContext:
         workers: Optional[int] = None,
         replay_executor: Optional[str] = None,
         program_key_cache_size: int = DEFAULT_PROGRAM_KEY_CACHE,
+        store: Optional[SessionStore] = None,
     ):
         if program_key_cache_size < 1:
             raise ValueError("program_key_cache_size must be >= 1")
@@ -307,6 +363,17 @@ class OptimizationContext:
         self.config = config
         self.target = target
         self.memoize = memoize
+        #: Disk tier behind the memo cache (None = memory only).  Inert
+        #: when ``memoize=False``.
+        self.store = store
+        #: Executed probes awaiting write-back: (kind, key, value),
+        #: keys captured at execution time.  Flushed by
+        #: :meth:`flush_store` (called from commit/close and the batch
+        #: merge wave).
+        self._store_pending: List[Tuple[str, Tuple, object]] = []
+        #: Keys known to be absent on disk (avoids re-statting the
+        #: store per probe); profile entries are dropped on trace swap.
+        self._store_misses: Set[Tuple[str, Tuple]] = set()
         self.workers = resolve_workers(workers)
         self.replay_executor = resolve_replay_executor(replay_executor)
         self.counters = SessionCounters()
@@ -344,9 +411,20 @@ class OptimizationContext:
     @trace.setter
     def trace(self, trace: Sequence[TracePacket]) -> None:
         """Swap the session trace; cached profiles are keyed on the old
-        trace's fingerprint and stop matching immediately."""
+        trace's fingerprint and stop matching immediately.
+
+        Any pending disk hydration is re-keyed too: remembered *profile*
+        disk misses are dropped, so probes after the swap (or after a
+        swap back, once a concurrent writer may have persisted entries)
+        hit the store again under the new trace key instead of trusting
+        stale miss knowledge — the disk-tier mirror of the PR 4
+        stale-profile fix.
+        """
         self._trace = list(trace)
         self._trace_key = trace_fingerprint(self._trace)
+        self._store_misses = {
+            entry for entry in self._store_misses if entry[0] != "profile"
+        }
 
     @property
     def trace_key(self) -> str:
@@ -378,11 +456,58 @@ class OptimizationContext:
         )
 
     # ------------------------------------------------------------------
+    # Persistent store (disk tier behind the memo cache)
+
+    def _store_load_compile(self, key: Tuple) -> Optional[CompileResult]:
+        if self.store is None or ("compile", key) in self._store_misses:
+            return None
+        loaded = self.store.load_compile(key)
+        if loaded is None:
+            self._remember_store_miss(("compile", key))
+        return loaded
+
+    def _store_load_profile(
+        self, key: Tuple
+    ) -> Optional[Tuple[Profile, PerfCounters]]:
+        if self.store is None or ("profile", key) in self._store_misses:
+            return None
+        loaded = self.store.load_profile(key)
+        if loaded is None:
+            self._remember_store_miss(("profile", key))
+        return loaded
+
+    def _remember_store_miss(self, entry: Tuple[str, Tuple]) -> None:
+        if len(self._store_misses) >= 4096:  # runaway-probe backstop
+            self._store_misses.clear()
+        self._store_misses.add(entry)
+
+    def flush_store(self) -> int:
+        """Write every executed-but-unflushed probe to the disk store
+        (no-op without one).  Called on :meth:`commit`, :meth:`close`,
+        and by the batch merge wave; returns how many entries flushed."""
+        pending, self._store_pending = self._store_pending, []
+        if self.store is None:
+            return 0
+        for kind, key, value in pending:
+            if kind == "compile":
+                self.store.store_compile(key, value)
+            else:
+                profile, perf = value
+                self.store.store_profile(key, profile, perf)
+            self._store_misses.discard((kind, key))
+        return len(pending)
+
+    def _queue_store_write(self, kind: str, key: Tuple, value) -> None:
+        if self.store is not None:
+            self._store_pending.append((kind, key, value))
+
+    # ------------------------------------------------------------------
     # Memoized compile / profile (serial)
 
     def compile(self, program: Optional[Program] = None) -> CompileResult:
         """Compile ``program`` (default: the current program) against the
-        session target, memoized on program content."""
+        session target, memoized on program content (memo tier first,
+        then the persistent store, then a real compile)."""
         if program is None:
             program = self.program
         self.counters.compile_calls += 1
@@ -391,10 +516,16 @@ class OptimizationContext:
             cached = self._compile_cache.get(key)
             if cached is not None:
                 return cached
+            loaded = self._store_load_compile(key)
+            if loaded is not None:
+                self.counters.compile_disk_hits += 1
+                self._compile_cache[key] = loaded
+                return loaded
         self.counters.compile_executions += 1
         result = compile_program(program, self.target)
         if self.memoize:
             self._compile_cache[key] = result
+            self._queue_store_write("compile", key, result)
         return result
 
     def profile(
@@ -426,12 +557,23 @@ class OptimizationContext:
             cached = self._profile_cache.get(key)
             if cached is not None:
                 return cached, self._profile_perf[key]
+            loaded = self._store_load_profile(key)
+            if loaded is not None:
+                # Disk hit: hydrate the memo tier.  Not an execution,
+                # and never attributed to a perf window — the replay
+                # cost was paid by the run that wrote the entry.
+                profile, perf = loaded
+                self.counters.profile_disk_hits += 1
+                self._profile_cache[key] = profile
+                self._profile_perf[key] = perf
+                return profile, perf
         self.counters.profile_executions += 1
         profile, perf = _replay_task(program, config, self._trace)
         self._attribute_perf(perf)
         if self.memoize:
             self._profile_cache[key] = profile
             self._profile_perf[key] = perf
+            self._queue_store_write("profile", key, (profile, perf))
         return profile, perf
 
     # ------------------------------------------------------------------
@@ -546,8 +688,9 @@ class OptimizationContext:
 
         # Submission wave: one future per key that needs an execution,
         # deduplicating in-flight keys (and, under memoize, keys already
-        # answered by the cache).  Without memoization every call
-        # executes — exactly like the serial path.
+        # answered by the memo cache or hydrated from the disk store).
+        # Without memoization every call executes — exactly like the
+        # serial path.
         compile_futures: "OrderedDict" = OrderedDict()
         profile_futures: "OrderedDict" = OrderedDict()
         compile_pool = replay_pool = None
@@ -556,6 +699,12 @@ class OptimizationContext:
                 continue
             if key in compile_futures:
                 if self.memoize:
+                    continue
+            elif self.memoize:
+                loaded = self._store_load_compile(key)
+                if loaded is not None:
+                    self.counters.compile_disk_hits += 1
+                    self._compile_cache[key] = loaded
                     continue
             if compile_pool is None:
                 compile_pool = self._pool("compile", workers)
@@ -567,6 +716,14 @@ class OptimizationContext:
             if key in profile_futures:
                 if self.memoize:
                     continue
+            elif self.memoize:
+                loaded = self._store_load_profile(key)
+                if loaded is not None:
+                    profile, perf = loaded
+                    self.counters.profile_disk_hits += 1
+                    self._profile_cache[key] = profile
+                    self._profile_perf[key] = perf
+                    continue
             if replay_pool is None:
                 replay_pool = self._pool("replay", workers)
             future = replay_pool.submit(
@@ -575,6 +732,9 @@ class OptimizationContext:
             profile_futures.setdefault(key, []).append(future)
 
         # Merge wave, in the caller's thread, in submission order.
+        # Executed probes are flushed to the disk store here (not
+        # buffered like the serial path) so each parallel wave persists
+        # as soon as it lands, even if the run dies mid-phase.
         compile_results: Dict[Tuple, CompileResult] = {}
         executed = 0
         for key, futures in compile_futures.items():
@@ -583,6 +743,9 @@ class OptimizationContext:
                 executed += 1
                 if self.memoize:
                     self._compile_cache[key] = compile_results[key]
+                    self._queue_store_write(
+                        "compile", key, compile_results[key]
+                    )
         self.counters.compile_executions += executed
 
         profile_results: Dict[Tuple, Tuple[Profile, PerfCounters]] = {}
@@ -596,7 +759,9 @@ class OptimizationContext:
                 if self.memoize:
                     self._profile_cache[key] = profile
                     self._profile_perf[key] = perf
+                    self._queue_store_write("profile", key, (profile, perf))
         self.counters.profile_executions += executed
+        self.flush_store()
 
         def compiled(key: Tuple) -> CompileResult:
             if key in compile_results:
@@ -645,8 +810,10 @@ class OptimizationContext:
         return ThreadPoolExecutor(max_workers=workers)
 
     def close(self) -> None:
-        """Release the worker pools (memo caches and counters survive;
-        pools are recreated lazily if the session batches again)."""
+        """Flush pending store write-backs and release the worker pools
+        (memo caches and counters survive; pools are recreated lazily
+        if the session batches again)."""
+        self.flush_store()
         pools = list(self._pools.values())
         self._pools.clear()
         for _size, pool in pools:
@@ -713,11 +880,14 @@ class OptimizationContext:
         )
 
     def commit(self) -> Tuple[Program, RuntimeConfig]:
-        """Make the pending proposal the session's current state."""
+        """Make the pending proposal the session's current state and
+        flush executed probes to the persistent store (every accepted
+        change is a durable checkpoint)."""
         if self._pending is None:
             raise RuntimeError("no pending proposal to commit")
         self.program, self.config = self._pending
         self._pending = None
+        self.flush_store()
         return self.program, self.config
 
     def rollback(self) -> Tuple[Program, RuntimeConfig]:

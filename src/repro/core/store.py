@@ -1,0 +1,536 @@
+"""Persistent cross-run session store (ROADMAP: "cross-run profile
+persistence").
+
+The memoizing session (:mod:`repro.core.session`) dies with the process,
+so every ``p2go optimize`` run starts cold — it recompiles and replays
+probes that an earlier run over the same program family already paid
+for.  :class:`SessionStore` is the disk tier behind that memo cache:
+keys are the session's already-content-addressed fingerprints
+(``(program_fingerprint, target)`` for compiles,
+``(program_fingerprint, config_fingerprint, trace_fingerprint)`` for
+profiles), values are pickled :class:`~repro.target.compiler.CompileResult`
+objects and ``(Profile, PerfCounters)`` pairs.  A second run over an
+unchanged program + trace is served entirely from disk: zero compiles,
+zero replays (``benchmarks/bench_store.py`` gates that in CI).
+
+Durability and safety contract (DESIGN.md §10):
+
+* **Versioned layout.**  Entries live under ``<root>/v<SCHEMA_VERSION>/
+  {compile,profile}/<sha1-of-key>.pkl``; ``<root>`` defaults to
+  ``$P2GO_STORE`` and then ``~/.cache/p2go``.  A ``manifest.json``
+  carries the schema version and a **code fingerprint** (a hash over
+  the source of every module whose classes end up inside an entry
+  pickle).  A manifest that is missing-but-entries-exist, unreadable,
+  or mismatched means the on-disk format can no longer be trusted: the
+  existing entries are sidelined into ``quarantine/`` and the store
+  starts cold — never an exception, never a wrong result.
+* **Atomic writes.**  Every entry is written to a uniquely-named
+  (``O_EXCL``) temp file in the same directory and ``os.replace``\\d
+  into place, so readers — including concurrent ones in other
+  processes — only ever see complete entries.
+* **Corruption tolerance.**  A truncated, garbage, or wrong-key entry
+  file is quarantined on load and counted; the caller sees a plain
+  miss.
+* **Multi-process safety without locks.**  One file per entry plus
+  atomic rename means concurrent writers at worst both pay for the
+  same probe and the last rename wins — both files hold the identical
+  content-addressed value.  There is no global lock and no shared
+  mutable index.
+* **LRU size cap.**  Loads refresh an entry's mtime; when the store
+  exceeds ``max_bytes`` after a write, the least-recently-used entries
+  are evicted (oldest mtime first, name as the deterministic
+  tie-break).
+
+The session hydrates from the store on memo miss and flushes executed
+probes back on ``commit()`` / ``close()`` (serial path) and in the
+``probe_many`` merge wave (parallel path) — see
+:class:`~repro.core.session.OptimizationContext`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover — typing-only imports, no cycle
+    from repro.core.profiler import Profile
+    from repro.sim.perf import PerfCounters
+    from repro.target.compiler import CompileResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SessionStore",
+    "StoreCounters",
+    "code_fingerprint",
+    "default_store_root",
+    "resolve_store",
+]
+
+#: Bump when the entry layout or payload framing changes; old schema
+#: directories (``v<N>/``) are simply never read by a newer store.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the store root (consulted by
+#: :func:`default_store_root` / :func:`resolve_store`).
+STORE_ENV = "P2GO_STORE"
+
+#: Default size cap before LRU eviction kicks in.
+DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: Modules whose pickled classes appear inside store entries.  Their
+#: source bytes feed the manifest's code fingerprint: touching any of
+#: them invalidates (quarantines) existing stores instead of risking an
+#: unpickle of a stale layout into current code.
+_FINGERPRINTED_MODULES = (
+    "repro.core.profiler",
+    "repro.sim.perf",
+    "repro.sim.runtime",
+    "repro.target.compiler",
+    "repro.target.allocation",
+    "repro.target.model",
+    "repro.analysis.dependencies",
+    "repro.analysis.control_graph",
+    "repro.p4.program",
+)
+
+_code_fingerprint_cache: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """SHA-1 over the source of every module whose instances are
+    pickled into store entries (computed once per process)."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        import importlib
+
+        digest = hashlib.sha1()
+        for name in _FINGERPRINTED_MODULES:
+            module = importlib.import_module(name)
+            digest.update(Path(module.__file__).read_bytes())
+        _code_fingerprint_cache = digest.hexdigest()
+    return _code_fingerprint_cache
+
+
+def default_store_root() -> Path:
+    """``$P2GO_STORE`` when set and non-empty, else ``~/.cache/p2go``."""
+    raw = os.environ.get(STORE_ENV, "").strip()
+    if raw:
+        return Path(raw).expanduser()
+    return Path.home() / ".cache" / "p2go"
+
+
+def resolve_store(
+    store: Union["SessionStore", str, Path, bool, None],
+) -> Optional["SessionStore"]:
+    """The store a pipeline run should use.
+
+    * a :class:`SessionStore` — used as-is;
+    * a path — a store rooted there;
+    * ``False`` — no store, even when ``$P2GO_STORE`` is set;
+    * ``None`` — a store rooted at ``$P2GO_STORE`` when that is set and
+      non-empty, otherwise no store (the library never writes to the
+      user cache dir unless explicitly asked).
+    """
+    if store is False or store is None and not os.environ.get(
+        STORE_ENV, ""
+    ).strip():
+        return None
+    if isinstance(store, SessionStore):
+        return store
+    if store is None or store is True:
+        return SessionStore(default_store_root())
+    return SessionStore(store)
+
+
+@dataclass
+class StoreCounters:
+    """What this process asked of the store and what happened on disk."""
+
+    #: Loads answered from disk, per kind.
+    compile_hits: int = 0
+    profile_hits: int = 0
+    #: Loads that found no (usable) entry.
+    misses: int = 0
+    #: Entries written (after executions).
+    writes: int = 0
+    #: Entries evicted by the LRU size cap.
+    evictions: int = 0
+    #: Corrupt/foreign entry files sidelined into ``quarantine/``.
+    quarantined: int = 0
+    #: Whole-store invalidations (schema or code-fingerprint mismatch,
+    #: unreadable manifest) — each one is a forced cold start.
+    resets: int = 0
+    #: I/O or pickling failures that were swallowed (the store degrades
+    #: to a miss / dropped write, never an exception).
+    errors: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.compile_hits + self.profile_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "compile_hits": self.compile_hits,
+            "profile_hits": self.profile_hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "resets": self.resets,
+            "errors": self.errors,
+        }
+
+
+class SessionStore:
+    """Disk tier behind the session's compile/profile memo cache.
+
+    ``root`` is the *unversioned* base directory (default:
+    :func:`default_store_root`); entries live under its
+    ``v<SCHEMA_VERSION>/`` subdirectory so schema bumps never read old
+    layouts.  ``max_bytes`` caps the summed size of entry files; the
+    least-recently-used entries are evicted past it.
+    ``code_fp`` overrides the manifest code fingerprint (tests use this
+    to simulate a store written by different code).
+
+    Every public method is exception-safe: I/O and pickling failures
+    degrade to a miss (loads) or a dropped write (stores) and are
+    counted on :attr:`counters`, so a broken disk can cost performance
+    but never a crash or a wrong result.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        code_fp: Optional[str] = None,
+    ):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(root).expanduser() if root else default_store_root()
+        self.base = self.root / f"v{SCHEMA_VERSION}"
+        self.max_bytes = max_bytes
+        self.counters = StoreCounters()
+        self._code_fp = code_fp
+        self._seq = 0
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # Layout / manifest
+
+    @property
+    def code_fp(self) -> str:
+        if self._code_fp is None:
+            self._code_fp = code_fingerprint()
+        return self._code_fp
+
+    def _dir(self, kind: str) -> Path:
+        return self.base / kind
+
+    def _manifest_path(self) -> Path:
+        return self.base / "manifest.json"
+
+    def _ensure_ready(self) -> bool:
+        """Create the layout and reconcile the manifest (idempotent).
+
+        Returns False when even the directory cannot be created — the
+        store is then inert for this process.
+        """
+        if self._ready:
+            return True
+        try:
+            for kind in ("compile", "profile", "quarantine"):
+                self._dir(kind).mkdir(parents=True, exist_ok=True)
+            expected = {"schema": SCHEMA_VERSION, "code": self.code_fp}
+            manifest = self._read_manifest()
+            if manifest is None:
+                # Fresh directory — or one whose manifest was lost while
+                # entries survived, which is just as untrustworthy.
+                if self._has_entries():
+                    self._invalidate()
+                self._write_manifest(expected)
+            elif manifest != expected:
+                self._invalidate()
+                self._write_manifest(expected)
+            self._ready = True
+            return True
+        except OSError:
+            self.counters.errors += 1
+            return False
+
+    def _read_manifest(self) -> Optional[Dict]:
+        path = self._manifest_path()
+        try:
+            raw = path.read_text()
+        except OSError:
+            return None
+        try:
+            manifest = json.loads(raw)
+            return {
+                "schema": manifest["schema"],
+                "code": manifest["code"],
+            }
+        except (ValueError, KeyError, TypeError):
+            # Unreadable/garbage manifest: report it as a mismatch (the
+            # caller quarantines and rewrites) by returning a value that
+            # can never equal the expected manifest.
+            return {"schema": None, "code": None}
+
+    def _write_manifest(self, manifest: Dict) -> None:
+        self._atomic_write(
+            self._manifest_path(),
+            (json.dumps(manifest, sort_keys=True) + "\n").encode(),
+        )
+
+    def _has_entries(self) -> bool:
+        for kind in ("compile", "profile"):
+            try:
+                next(self._dir(kind).iterdir())
+                return True
+            except (StopIteration, OSError):
+                continue
+        return False
+
+    def _invalidate(self) -> None:
+        """Sideline every existing entry: the on-disk format does not
+        match this code.  Cold start, never an exception."""
+        self.counters.resets += 1
+        for kind in ("compile", "profile"):
+            directory = self._dir(kind)
+            try:
+                names = sorted(p.name for p in directory.iterdir())
+            except OSError:
+                continue
+            for name in names:
+                self._quarantine(directory / name, count=False)
+
+    # ------------------------------------------------------------------
+    # Entry files
+
+    @staticmethod
+    def _entry_name(kind: str, key: Tuple) -> str:
+        return hashlib.sha1(repr((kind, key)).encode()).hexdigest() + ".pkl"
+
+    def _entry_path(self, kind: str, key: Tuple) -> Path:
+        return self._dir(kind) / self._entry_name(kind, key)
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        """Write-to-temp + rename; the temp name is unique per process
+        (pid + sequence) and opened ``O_EXCL`` so two processes never
+        share a temp file."""
+        self._seq += 1
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{self._seq}.tmp")
+        fd = os.open(
+            tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL | os.O_TRUNC, 0o644
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        os.replace(tmp, path)
+
+    def _quarantine(self, path: Path, count: bool = True) -> None:
+        """Move a suspect file out of the entry namespace (best effort:
+        a racing process may already have moved or replaced it)."""
+        target = self._dir("quarantine") / (
+            f"{path.name}.{os.getpid()}.{self._seq}"
+        )
+        self._seq += 1
+        try:
+            os.replace(path, target)
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        if count:
+            self.counters.quarantined += 1
+
+    def _load(self, kind: str, key: Tuple):
+        if not self._ensure_ready():
+            return None
+        path = self._entry_path(kind, key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.counters.misses += 1
+            return None
+        try:
+            payload = pickle.loads(data)
+            stored_key = payload["key"]
+            value = payload["value"]
+        except Exception:
+            # Truncated write, garbage bytes, a pickle of foreign code —
+            # all degrade to a miss; the file is sidelined so the cost
+            # is paid once.
+            self._quarantine(path)
+            self.counters.misses += 1
+            return None
+        if stored_key != key:
+            # SHA-1 collision or a corrupted-but-unpicklable-detectably
+            # entry: treat exactly like corruption.
+            self._quarantine(path)
+            self.counters.misses += 1
+            return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
+        return value
+
+    def _store(self, kind: str, key: Tuple, value) -> None:
+        if not self._ensure_ready():
+            return
+        try:
+            data = pickle.dumps(
+                {"key": key, "value": value},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            self._atomic_write(self._entry_path(kind, key), data)
+        except Exception:
+            self.counters.errors += 1
+            return
+        self.counters.writes += 1
+        self._evict_over_cap()
+
+    # ------------------------------------------------------------------
+    # Public API
+
+    def load_compile(self, key: Tuple) -> Optional["CompileResult"]:
+        """The stored compile result for ``key``, or None (miss)."""
+        value = self._load("compile", key)
+        if value is not None:
+            self.counters.compile_hits += 1
+        return value
+
+    def store_compile(self, key: Tuple, result: "CompileResult") -> None:
+        self._store("compile", key, result)
+
+    def load_profile(
+        self, key: Tuple
+    ) -> Optional[Tuple["Profile", "PerfCounters"]]:
+        """The stored ``(profile, perf)`` pair for ``key``, or None."""
+        value = self._load("profile", key)
+        if value is not None:
+            self.counters.profile_hits += 1
+        return value
+
+    def store_profile(
+        self, key: Tuple, profile: "Profile", perf: "PerfCounters"
+    ) -> None:
+        self._store("profile", key, (profile, perf))
+
+    # ------------------------------------------------------------------
+    # Eviction / maintenance
+
+    def _entry_files(self) -> List[Tuple[float, str, int, Path]]:
+        """(mtime, name, size, path) for every entry file, oldest first
+        (name is the deterministic tie-break for equal mtimes)."""
+        records = []
+        for kind in ("compile", "profile"):
+            directory = self._dir(kind)
+            try:
+                names = list(directory.iterdir())
+            except OSError:
+                continue
+            for path in names:
+                if path.name.endswith(".tmp"):
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                records.append(
+                    (stat.st_mtime, path.name, stat.st_size, path)
+                )
+        records.sort(key=lambda record: (record[0], record[1]))
+        return records
+
+    def _evict_over_cap(self) -> int:
+        """Drop least-recently-used entries until under ``max_bytes``."""
+        records = self._entry_files()
+        total = sum(size for _mtime, _name, size, _path in records)
+        evicted = 0
+        for _mtime, _name, size, path in records:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+        self.counters.evictions += evicted
+        return evicted
+
+    def clear(self) -> int:
+        """Delete every entry (and quarantined file); returns how many
+        entry files were removed.  The manifest survives."""
+        if not self._ensure_ready():
+            return 0
+        removed = 0
+        for kind in ("compile", "profile", "quarantine"):
+            directory = self._dir(kind)
+            try:
+                paths = list(directory.iterdir())
+            except OSError:
+                continue
+            for path in paths:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue
+                if kind != "quarantine":
+                    removed += 1
+        return removed
+
+    def stats(self) -> Dict:
+        """Census + this process's counters, JSON-ready."""
+        entries = {"compile": 0, "profile": 0}
+        total_bytes = 0
+        if self._ensure_ready():
+            for kind in entries:
+                directory = self._dir(kind)
+                try:
+                    paths = list(directory.iterdir())
+                except OSError:
+                    continue
+                for path in paths:
+                    if path.name.endswith(".tmp"):
+                        continue
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        continue
+                    entries[kind] += 1
+            try:
+                quarantine = sum(
+                    1 for _ in self._dir("quarantine").iterdir()
+                )
+            except OSError:
+                quarantine = 0
+        else:
+            quarantine = 0
+        return {
+            "root": str(self.root),
+            "schema": SCHEMA_VERSION,
+            "code": self.code_fp,
+            "max_bytes": self.max_bytes,
+            "compile_entries": entries["compile"],
+            "profile_entries": entries["profile"],
+            "quarantine_entries": quarantine,
+            "total_bytes": total_bytes,
+            "counters": self.counters.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"SessionStore(root={str(self.root)!r})"

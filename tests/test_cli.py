@@ -193,6 +193,73 @@ class TestOptimize:
         assert "(2 workers)" in capsys.readouterr().out
 
 
+class TestStore:
+    def optimize(self, toy_files, extra):
+        prog_path, config_path, trace_path = toy_files
+        return main(
+            [
+                "optimize",
+                str(prog_path),
+                "--config", str(config_path),
+                "--trace", str(trace_path),
+            ]
+            + extra
+        )
+
+    def test_second_run_warm_starts_from_store(
+        self, toy_files, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        assert self.optimize(toy_files, ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert self.optimize(toy_files, ["--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "persistent store:" in out
+        # Warm run: both the compile and the profile line report zero
+        # executions — everything hydrated from disk.
+        assert out.count(" 0 executed (") == 2
+
+    def test_store_stats_and_clear(self, toy_files, tmp_path, capsys):
+        store = tmp_path / "store"
+        self.optimize(toy_files, ["--store", str(store)])
+        capsys.readouterr()
+
+        assert main(["store", "stats", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "store root:" in out
+        assert "0 compile" not in out  # entries were persisted
+
+        assert main(["store", "clear", "--store", str(store)]) == 0
+        assert "removed" in capsys.readouterr().out
+        main(["store", "stats", "--store", str(store)])
+        assert "entries:           0 compile, 0 profile" in (
+            capsys.readouterr().out
+        )
+
+    def test_env_var_enables_store(
+        self, toy_files, tmp_path, capsys, monkeypatch
+    ):
+        store = tmp_path / "env-store"
+        monkeypatch.setenv("P2GO_STORE", str(store))
+        assert self.optimize(toy_files, []) == 0
+        assert "persistent store:" in capsys.readouterr().out
+        assert (store / "v1").exists()
+
+    def test_no_store_beats_env_var(
+        self, toy_files, tmp_path, capsys, monkeypatch
+    ):
+        store = tmp_path / "env-store"
+        monkeypatch.setenv("P2GO_STORE", str(store))
+        assert self.optimize(toy_files, ["--no-store"]) == 0
+        assert "persistent store:" not in capsys.readouterr().out
+        assert not store.exists()
+
+    def test_no_store_by_default(self, toy_files, capsys, monkeypatch):
+        monkeypatch.delenv("P2GO_STORE", raising=False)
+        assert self.optimize(toy_files, []) == 0
+        assert "persistent store:" not in capsys.readouterr().out
+
+
 class TestDemo:
     def test_demo_nat_gre(self, capsys):
         assert main(["demo", "nat_gre"]) == 0

@@ -278,9 +278,13 @@ class TestPipelineDeterminism:
 
     def run(self, inputs, workers):
         program, config, trace, target = inputs
+        # store=False: canonical() includes the session counters and
+        # per-phase perf, which are a store-less property — with
+        # $P2GO_STORE set the second run would warm-start from the
+        # first's disk entries (tests/test_store.py owns that axis).
         return P2GO(
             fw.build_program(), fw.runtime_config(), trace, target,
-            workers=workers,
+            workers=workers, store=False,
         ).run()
 
     def test_firewall_byte_identical(self, firewall_inputs):
@@ -293,7 +297,7 @@ class TestPipelineDeterminism:
         def run(workers):
             return P2GO(
                 build_toy_program(), toy_config(), make_trace(),
-                DEFAULT_TARGET, workers=workers,
+                DEFAULT_TARGET, workers=workers, store=False,
             ).run()
 
         assert canonical(run(1)) == canonical(run(4))

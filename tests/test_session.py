@@ -7,6 +7,7 @@ from repro.core.session import (
     config_fingerprint,
     merge_perf,
     program_fingerprint,
+    trace_fingerprint,
 )
 from repro.sim.perf import PerfCounters
 from repro.target.model import DEFAULT_TARGET
@@ -158,6 +159,85 @@ class TestTraceIdentity:
         again = ctx.profile()
         assert ctx.counters.profile_executions == 2
         assert again is first
+
+    def test_trace_swap_rekeys_disk_hydration(self, tmp_path):
+        """ISSUE 5 satellite: assigning a new trace must re-key pending
+        disk hydration.  A remembered store miss recorded before a
+        concurrent writer persisted the entry (simulated below) must not
+        suppress the re-keyed lookup after the swap — the disk-tier
+        mirror of the stale-profile regression above."""
+        from repro.core.store import SessionStore
+        from repro.packets.craft import udp_packet
+
+        store_root = tmp_path / "store"
+        drifted = [
+            udp_packet("3.3.3.3", "10.0.0.9", 5, 53) for _ in range(6)
+        ]
+        # Another session persists the drifted traffic's profile.
+        other = OptimizationContext(
+            build_toy_program(), toy_config(), drifted, DEFAULT_TARGET,
+            store=SessionStore(store_root),
+        )
+        other.profile()
+        other.close()
+
+        ctx = OptimizationContext(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=SessionStore(store_root),
+        )
+        ctx.profile()  # original traffic: disk miss, real replay
+        assert ctx.counters.profile_executions == 1
+        # The race the trace setter guards against: this session probed
+        # the drifted trace's key before the other session's write
+        # landed, and remembered the miss.
+        drifted_key = (
+            ctx.program_key(ctx.program),
+            config_fingerprint(ctx.config),
+            trace_fingerprint(drifted),
+        )
+        ctx._store_misses.add(("profile", drifted_key))
+        ctx.trace = drifted  # the swap must drop that stale knowledge
+        ctx.profile()
+        assert ctx.counters.profile_executions == 1  # no re-replay
+        assert ctx.counters.profile_disk_hits == 1
+
+    def test_trace_swap_keeps_compile_miss_knowledge(self, tmp_path):
+        """Compile entries are not trace-keyed, so the swap only drops
+        the profile-tagged misses."""
+        from repro.core.store import SessionStore
+
+        ctx = OptimizationContext(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=SessionStore(tmp_path / "store"),
+        )
+        ctx.compile()
+        assert ("compile", (ctx.program_key(ctx.program),
+                            ctx.target.name)) in ctx._store_misses
+        ctx.trace = list(ctx.trace)[:4]
+        assert any(
+            entry[0] == "compile" for entry in ctx._store_misses
+        )
+        assert not any(
+            entry[0] == "profile" for entry in ctx._store_misses
+        )
+
+    def test_pending_writes_keep_execution_time_keys(self, tmp_path):
+        """Probes executed before a trace swap flush under the keys they
+        were executed with, never the session's current trace."""
+        from repro.core.store import SessionStore
+
+        store = SessionStore(tmp_path / "store")
+        ctx = OptimizationContext(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=store,
+        )
+        old_key = ctx._profile_key(ctx.program, ctx.config)
+        ctx.profile()
+        ctx.trace = list(ctx.trace)[:4]
+        new_key = ctx._profile_key(ctx.program, ctx.config)
+        assert ctx.flush_store() == 1
+        assert store.load_profile(old_key) is not None
+        assert store.load_profile(new_key) is None
 
     def test_trace_fingerprint_sees_ingress_port(self):
         from repro.core.session import trace_fingerprint

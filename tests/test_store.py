@@ -1,0 +1,581 @@
+"""The persistent cross-run session store (ISSUE 5).
+
+Covers the durability contract of :class:`~repro.core.store.SessionStore`
+(round trips, versioned layout, LRU eviction, corruption quarantine,
+lock-free multi-process sharing), its wiring into
+:class:`~repro.core.session.OptimizationContext` (memo → disk → execute,
+disk hits never attributed to perf windows, flush on commit/close and
+after parallel waves), and the acceptance bars: a warm second run
+performs **zero compiles and zero replays**, and a store-enabled
+pipeline is canonically identical to a store-less one for every phase
+order — serially and under four workers.
+"""
+
+import json
+import os
+import pickle
+import threading
+
+import pytest
+
+from repro.core.pipeline import P2GO
+from repro.core.report import render_report
+from repro.core.session import OptimizationContext
+from repro.core.store import (
+    SCHEMA_VERSION,
+    SessionStore,
+    code_fingerprint,
+    default_store_root,
+    resolve_store,
+)
+from repro.programs import example_firewall as fw
+from repro.target.model import DEFAULT_TARGET
+
+from .conftest import build_toy_program, toy_config
+from .test_parallel import canonical
+from .test_passes import ORDERS, assert_equivalent
+
+#: Enough for every firewall phase to probe, fast enough to afford the
+#: order × workers × cold/warm matrix below.
+TRACE_PACKETS = 1200
+
+
+def make_trace():
+    from repro.packets.craft import udp_packet
+
+    return [
+        udp_packet("1.1.1.1", "10.0.0.9", 5, 53) for _ in range(4)
+    ] + [
+        udp_packet("2.2.2.2", "10.0.0.9", 5, 80) for _ in range(4)
+    ]
+
+
+def make_ctx(store, **kwargs):
+    return OptimizationContext(
+        build_toy_program(), toy_config(), make_trace(), DEFAULT_TARGET,
+        store=store, **kwargs,
+    )
+
+
+def entry_paths(store, kind):
+    return sorted(
+        path
+        for path in store._dir(kind).iterdir()
+        if not path.name.endswith(".tmp")
+    )
+
+
+class TestResolveStore:
+    def test_false_means_no_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("P2GO_STORE", str(tmp_path))
+        assert resolve_store(False) is None
+
+    def test_none_without_env_means_no_store(self, monkeypatch):
+        monkeypatch.delenv("P2GO_STORE", raising=False)
+        assert resolve_store(None) is None
+
+    def test_none_with_env_roots_there(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("P2GO_STORE", str(tmp_path / "s"))
+        store = resolve_store(None)
+        assert store is not None
+        assert store.root == tmp_path / "s"
+
+    def test_path_and_instance_pass_through(self, tmp_path):
+        store = resolve_store(tmp_path / "s")
+        assert isinstance(store, SessionStore)
+        assert store.root == tmp_path / "s"
+        assert resolve_store(store) is store
+
+    def test_default_root_env_then_home(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("P2GO_STORE", str(tmp_path))
+        assert default_store_root() == tmp_path
+        monkeypatch.delenv("P2GO_STORE")
+        assert default_store_root().name == "p2go"
+
+
+class TestRoundTrip:
+    def test_compile_result_round_trips(self, tmp_path):
+        from repro.target.compiler import compile_program
+
+        store = SessionStore(tmp_path / "store")
+        result = compile_program(build_toy_program(), DEFAULT_TARGET)
+        key = ("fp", DEFAULT_TARGET.name)
+        assert store.load_compile(key) is None
+        store.store_compile(key, result)
+        loaded = store.load_compile(key)
+        assert loaded.stages_used == result.stages_used
+        assert loaded.stage_map() == result.stage_map()
+        assert store.counters.compile_hits == 1
+        assert store.counters.misses == 1
+        assert store.counters.writes == 1
+
+    def test_profile_round_trips(self, tmp_path):
+        from repro.core.profiler import Profiler
+
+        store = SessionStore(tmp_path / "store")
+        run = Profiler(build_toy_program(), toy_config()).run(make_trace())
+        key = ("p", ("c",), "t")
+        store.store_profile(key, run.profile, run.perf)
+        profile, perf = store.load_profile(key)
+        assert profile.same_behavior_as(run.profile)
+        assert profile.total_packets == run.profile.total_packets
+        assert perf.packets == run.perf.packets
+
+    @pytest.mark.parametrize("size", [4, 8, 16, 32])
+    def test_round_trip_across_program_variants(self, tmp_path, size):
+        from repro.target.compiler import compile_program
+
+        store = SessionStore(tmp_path / "store")
+        program = build_toy_program().with_table_size("fib", size)
+        result = compile_program(program, DEFAULT_TARGET)
+        key = (f"fp-{size}", DEFAULT_TARGET.name)
+        store.store_compile(key, result)
+        assert store.load_compile(key).stage_map() == result.stage_map()
+
+    def test_entries_survive_new_instances(self, tmp_path):
+        a = SessionStore(tmp_path / "store")
+        a.store_compile(("k",), {"v": 1})
+        b = SessionStore(tmp_path / "store")
+        assert b.load_compile(("k",)) == {"v": 1}
+
+    def test_distinct_keys_distinct_entries(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("a",), 1)
+        store.store_compile(("b",), 2)
+        assert store.load_compile(("a",)) == 1
+        assert store.load_compile(("b",)) == 2
+        assert store.load_compile(("c",)) is None
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            SessionStore(tmp_path, max_bytes=0)
+
+
+class TestEviction:
+    def write_sized(self, store, key, payload_bytes):
+        store.store_compile(key, b"x" * payload_bytes)
+
+    def test_lru_evicts_oldest_mtime_first(self, tmp_path):
+        store = SessionStore(tmp_path / "store", max_bytes=10 ** 6)
+        for index, stamp in [(0, 100), (1, 200), (2, 300)]:
+            self.write_sized(store, (f"k{index}",), 64)
+            path = store._entry_path("compile", (f"k{index}",))
+            os.utime(path, (stamp, stamp))
+        sizes = [p.stat().st_size for p in entry_paths(store, "compile")]
+        store.max_bytes = sum(sizes) - 1  # one entry must go
+        assert store._evict_over_cap() == 1
+        assert store.load_compile(("k0",)) is None  # oldest gone
+        assert store.load_compile(("k1",)) is not None
+        assert store.load_compile(("k2",)) is not None
+        assert store.counters.evictions == 1
+
+    def test_equal_mtimes_break_ties_by_name(self, tmp_path):
+        store = SessionStore(tmp_path / "store", max_bytes=10 ** 6)
+        keys = [("a",), ("b",), ("c",)]
+        for key in keys:
+            self.write_sized(store, key, 64)
+            os.utime(store._entry_path("compile", key), (100, 100))
+        by_name = sorted(
+            keys, key=lambda k: store._entry_name("compile", k)
+        )
+        sizes = [p.stat().st_size for p in entry_paths(store, "compile")]
+        store.max_bytes = sum(sizes) - 1
+        store._evict_over_cap()
+        # Exactly the lexicographically-first entry file went.
+        assert store.load_compile(by_name[0]) is None
+        for key in by_name[1:]:
+            assert store.load_compile(key) is not None
+
+    def test_load_refreshes_recency(self, tmp_path):
+        store = SessionStore(tmp_path / "store", max_bytes=10 ** 6)
+        self.write_sized(store, ("old",), 64)
+        self.write_sized(store, ("new",), 64)
+        os.utime(store._entry_path("compile", ("old",)), (100, 100))
+        os.utime(store._entry_path("compile", ("new",)), (200, 200))
+        store.load_compile(("old",))  # os.utime(now) — newest again
+        sizes = [p.stat().st_size for p in entry_paths(store, "compile")]
+        store.max_bytes = sum(sizes) - 1
+        store._evict_over_cap()
+        assert store.load_compile(("old",)) is not None
+        assert store.load_compile(("new",)) is None
+
+    def test_writes_trigger_eviction_automatically(self, tmp_path):
+        store = SessionStore(tmp_path / "store", max_bytes=400)
+        for index in range(8):
+            self.write_sized(store, (f"k{index}",), 128)
+        stats = store.stats()
+        assert stats["total_bytes"] <= 400
+        assert store.counters.evictions > 0
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("a",), 1)
+        store.store_profile(("b",), "profile", "perf")
+        assert store.clear() == 2
+        assert store.load_compile(("a",)) is None
+        stats = store.stats()
+        assert stats["compile_entries"] == 0
+        assert stats["profile_entries"] == 0
+
+
+class TestFaultInjection:
+    """Corrupt, truncated, foreign, or version-mismatched stores must
+    degrade to a clean cold start — quarantine + counter, never an
+    exception, never a wrong result."""
+
+    def corrupt(self, store, key, data):
+        path = store._entry_path("compile", key)
+        path.write_bytes(data)
+
+    def test_truncated_entry_is_a_quarantined_miss(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), {"v": 1})
+        path = store._entry_path("compile", ("k",))
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.load_compile(("k",)) is None
+        assert store.counters.quarantined == 1
+        assert not path.exists()  # sidelined, cost paid once
+        assert len(list(store._dir("quarantine").iterdir())) == 1
+
+    def test_garbage_entry_is_a_quarantined_miss(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), {"v": 1})
+        self.corrupt(store, ("k",), b"not a pickle at all")
+        assert store.load_compile(("k",)) is None
+        assert store.counters.quarantined == 1
+
+    def test_wrong_key_payload_is_a_quarantined_miss(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), 1)
+        self.corrupt(
+            store, ("k",),
+            pickle.dumps({"key": ("other",), "value": 2}),
+        )
+        assert store.load_compile(("k",)) is None
+        assert store.counters.quarantined == 1
+
+    def test_partial_write_tmp_files_are_invisible(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), 1)
+        (store._dir("compile") / ".abc.pkl.999.1.tmp").write_bytes(
+            b"half-written"
+        )
+        stats = store.stats()
+        assert stats["compile_entries"] == 1
+        assert store.load_compile(("k",)) == 1
+
+    def test_schema_mismatch_forces_cold_start(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), 1)
+        manifest = store._manifest_path()
+        stale = json.loads(manifest.read_text())
+        stale["schema"] = SCHEMA_VERSION + 99
+        manifest.write_text(json.dumps(stale))
+        fresh = SessionStore(tmp_path / "store")
+        assert fresh.load_compile(("k",)) is None  # never unpickled
+        assert fresh.counters.resets == 1
+        # The store restarted cold and is fully usable again.
+        fresh.store_compile(("k",), 2)
+        assert fresh.load_compile(("k",)) == 2
+        assert json.loads(fresh._manifest_path().read_text())[
+            "schema"
+        ] == SCHEMA_VERSION
+
+    def test_code_fingerprint_mismatch_forces_cold_start(self, tmp_path):
+        old = SessionStore(tmp_path / "store", code_fp="written-by-old-code")
+        old.store_compile(("k",), 1)
+        fresh = SessionStore(tmp_path / "store")
+        assert fresh.code_fp == code_fingerprint()
+        assert fresh.load_compile(("k",)) is None
+        assert fresh.counters.resets == 1
+
+    def test_garbage_manifest_forces_cold_start(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), 1)
+        store._manifest_path().write_text("{ not json")
+        fresh = SessionStore(tmp_path / "store")
+        assert fresh.load_compile(("k",)) is None
+        assert fresh.counters.resets == 1
+
+    def test_missing_manifest_with_entries_forces_cold_start(
+        self, tmp_path
+    ):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("k",), 1)
+        store._manifest_path().unlink()
+        fresh = SessionStore(tmp_path / "store")
+        assert fresh.load_compile(("k",)) is None
+        assert fresh.counters.resets == 1
+
+    def test_unusable_root_makes_store_inert(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the store root should go")
+        store = SessionStore(blocker / "store")
+        store.store_compile(("k",), 1)  # dropped write, no exception
+        assert store.load_compile(("k",)) is None
+        assert store.clear() == 0
+        assert store.stats()["compile_entries"] == 0
+        assert store.counters.errors > 0
+
+    def test_pipeline_survives_fully_corrupted_store(self, tmp_path):
+        program, config = build_toy_program(), toy_config()
+        trace = make_trace()
+        store_root = tmp_path / "store"
+        baseline = P2GO(
+            program, config, trace, DEFAULT_TARGET,
+            store=SessionStore(store_root),
+        ).run()
+        # Smash every entry the first run persisted.
+        store = SessionStore(store_root)
+        for kind in ("compile", "profile"):
+            for path in entry_paths(store, kind):
+                path.write_bytes(b"garbage")
+        again = P2GO(
+            program, config, trace, DEFAULT_TARGET,
+            store=SessionStore(store_root),
+        ).run()
+        assert_equivalent(again, baseline)
+        assert again.store_stats["counters"]["quarantined"] > 0
+        assert again.session_counters.compile_disk_hits == 0
+        assert "corrupt store entries quarantined" in render_report(again)
+
+    def test_pipeline_survives_schema_mismatch_with_report_note(
+        self, tmp_path
+    ):
+        program, config = build_toy_program(), toy_config()
+        trace = make_trace()
+        store_root = tmp_path / "store"
+        old = SessionStore(store_root, code_fp="written-by-old-code")
+        old.store_compile(("k",), 1)
+        result = P2GO(
+            program, config, trace, DEFAULT_TARGET,
+            store=SessionStore(store_root),
+        ).run()
+        assert result.store_stats["counters"]["resets"] == 1
+        assert "store format mismatch" in render_report(result)
+
+
+class TestConcurrentInstances:
+    """Two store instances on one directory: per-entry files + atomic
+    O_EXCL-temp writes mean no locks are needed — readers only ever see
+    complete entries, and racing writers of a content-addressed key
+    both produce the same value."""
+
+    def test_instances_see_each_others_writes(self, tmp_path):
+        a = SessionStore(tmp_path / "store")
+        b = SessionStore(tmp_path / "store")
+        a.store_compile(("from-a",), "A")
+        b.store_compile(("from-b",), "B")
+        assert a.load_compile(("from-b",)) == "B"
+        assert b.load_compile(("from-a",)) == "A"
+
+    def test_racing_writers_of_one_key_last_rename_wins(self, tmp_path):
+        a = SessionStore(tmp_path / "store")
+        b = SessionStore(tmp_path / "store")
+        a.store_compile(("k",), "same-content")
+        b.store_compile(("k",), "same-content")
+        assert a.load_compile(("k",)) == "same-content"
+        assert len(entry_paths(a, "compile")) == 1
+
+    def test_thread_hammer_no_exceptions(self, tmp_path):
+        """Interleaved store/load/clear from two threads, each with its
+        own instance: every operation must degrade gracefully, never
+        raise."""
+        errors = []
+
+        def hammer(worker):
+            store = SessionStore(tmp_path / "store")
+            try:
+                for round_no in range(30):
+                    key = (f"k{round_no % 7}",)
+                    store.store_compile(key, f"{worker}:{round_no}")
+                    store.load_compile(key)
+                    if round_no % 13 == 12:
+                        store.clear()
+            except Exception as exc:  # pragma: no cover — the failure
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        survivor = SessionStore(tmp_path / "store")
+        survivor.store_compile(("after",), 1)
+        assert survivor.load_compile(("after",)) == 1
+
+
+class TestSessionTiering:
+    """memo → disk → execute inside OptimizationContext."""
+
+    def test_disk_hit_hydrates_memo(self, tmp_path):
+        writer = make_ctx(SessionStore(tmp_path / "store"))
+        writer.profile()
+        writer.compile()
+        writer.close()  # flush
+
+        reader = make_ctx(SessionStore(tmp_path / "store"))
+        reader.profile()
+        reader.compile()
+        assert reader.counters.profile_executions == 0
+        assert reader.counters.compile_executions == 0
+        assert reader.counters.profile_disk_hits == 1
+        assert reader.counters.compile_disk_hits == 1
+        # Second ask: memo, not disk.
+        reader.profile()
+        assert reader.counters.profile_disk_hits == 1
+        assert reader.counters.profile_hits == 1
+
+    def test_disk_hits_never_attributed_to_perf_windows(self, tmp_path):
+        writer = make_ctx(SessionStore(tmp_path / "store"))
+        writer.profile()
+        writer.close()
+        reader = make_ctx(SessionStore(tmp_path / "store"))
+        reader.start_perf_window()
+        reader.profile()  # disk hit — the writer paid the replay
+        assert reader.take_perf_window() is None
+
+    def test_memoize_false_keeps_store_inert(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        ctx = make_ctx(store, memoize=False)
+        ctx.profile()
+        ctx.compile()
+        ctx.close()
+        assert store.stats()["compile_entries"] == 0
+        assert store.stats()["profile_entries"] == 0
+        assert ctx.counters.profile_executions == 1
+        assert ctx.counters.compile_executions == 1
+
+    def test_flush_on_commit(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        ctx = make_ctx(store)
+        key = ctx._profile_key(ctx.program, ctx.config)
+        ctx.profile()
+        assert store.load_profile(key) is None  # buffered
+        ctx.propose(program=ctx.program)
+        ctx.commit()
+        assert store.load_profile(key) is not None
+
+    def test_parallel_wave_flushes_immediately(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        ctx = make_ctx(store, workers=4)
+        with ctx:
+            ctx.compile_many(
+                [ctx.program, ctx.program.with_table_size("fib", 32)]
+            )
+            # Flushed by the merge wave — visible before close().
+            assert store.stats()["compile_entries"] == 2
+
+        warm = make_ctx(SessionStore(tmp_path / "store"), workers=4)
+        with warm:
+            warm.compile_many(
+                [warm.program, warm.program.with_table_size("fib", 32)]
+            )
+        assert warm.counters.compile_executions == 0
+        assert warm.counters.compile_disk_hits == 2
+
+
+class TestWarmSecondRun:
+    """The tentpole acceptance bar: a second run over an unchanged
+    program + config + trace performs zero compiles and zero replays."""
+
+    def run(self, store_root):
+        return P2GO(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=SessionStore(store_root),
+        ).run()
+
+    def test_second_run_zero_compiles_zero_replays(self, tmp_path):
+        cold = self.run(tmp_path / "store")
+        warm = self.run(tmp_path / "store")
+        assert_equivalent(warm, cold)
+        counters = warm.session_counters
+        assert counters.compile_executions == 0
+        assert counters.profile_executions == 0
+        assert counters.compile_disk_hits > 0
+        assert counters.profile_disk_hits > 0
+        assert counters.compile_calls == cold.session_counters.compile_calls
+
+    def test_report_carries_provenance_and_store_lines(self, tmp_path):
+        self.run(tmp_path / "store")
+        report = render_report(self.run(tmp_path / "store"))
+        assert "result provenance:" in report
+        assert "persistent store:" in report
+        assert "executed 0" in report
+
+    def test_storeless_run_has_no_store_line(self):
+        result = P2GO(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=False,
+        ).run()
+        assert result.store_stats is None
+        assert "persistent store:" not in render_report(result)
+
+    def test_workers_env_routes_through_store(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("P2GO_WORKERS", "4")
+        self.run(tmp_path / "store")
+        warm = self.run(tmp_path / "store")
+        assert warm.session_counters.compile_executions == 0
+        assert warm.session_counters.profile_executions == 0
+
+
+class TestSeedEquivalence:
+    """ISSUE 5 satellite: store-enabled pipeline results are canonically
+    identical to the store-less pipeline for every phase order in
+    tests/test_passes.py — a cold store changes nothing but writes, and
+    a warm store changes nothing but who pays for the answers."""
+
+    @pytest.fixture(scope="class")
+    def inputs(self):
+        return (
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(TRACE_PACKETS),
+            fw.TARGET,
+        )
+
+    @pytest.fixture(scope="class")
+    def storeless(self, inputs):
+        """Store-less baselines, computed lazily per phase order (the
+        workers legs share them: ISSUE 4 pinned that worker count does
+        not change the canonical result)."""
+        cache = {}
+
+        def baseline(order):
+            if order not in cache:
+                program, config, trace, target = inputs
+                cache[order] = P2GO(
+                    program, config, trace, target, phases=order,
+                    store=False,
+                ).run()
+            return cache[order]
+
+        return baseline
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize(
+        "order", ORDERS, ids=lambda o: "-".join(map(str, o))
+    )
+    def test_cold_canonical_warm_equivalent(
+        self, inputs, storeless, tmp_path, order, workers
+    ):
+        program, config, trace, target = inputs
+        baseline = storeless(order)
+        store_root = tmp_path / "store"
+        cold = P2GO(
+            program, config, trace, target, phases=order,
+            workers=workers, store=SessionStore(store_root),
+        ).run()
+        # Cold: nothing to hit, so counters, per-phase perf, and every
+        # decision are byte-identical to the store-less run.
+        assert canonical(cold) == canonical(baseline)
+        warm = P2GO(
+            program, config, trace, target, phases=order,
+            workers=workers, store=SessionStore(store_root),
+        ).run()
+        assert_equivalent(warm, baseline)
+        assert warm.session_counters.compile_executions == 0
+        assert warm.session_counters.profile_executions == 0
