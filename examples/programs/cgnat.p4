@@ -1,0 +1,134 @@
+// program: cgnat
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type cg_meta_t {
+    fields {
+        idx : 32;
+        xlations : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+metadata cg_meta_t cg_meta;
+
+register cg_xlate {
+    width : 32;
+    instance_count : 64;
+}
+
+action cg_snat(public) {
+    hash(cg_meta.idx, fnv1a, {ipv4.srcAddr}, size(cg_xlate));
+    register_read(cg_meta.xlations, cg_xlate, cg_meta.idx);
+    add_to_field(cg_meta.xlations, 1);
+    register_write(cg_xlate, cg_meta.idx, cg_meta.xlations);
+    modify_field(ipv4.srcAddr, public);
+}
+
+action cg_dnat(inside) {
+    modify_field(ipv4.dstAddr, inside);
+}
+
+action fwd(port) {
+    set_egress_port(port);
+}
+
+table nat_inside {
+    reads {
+        standard_metadata.ingress_port : exact;
+        ipv4.srcAddr : exact;
+    }
+    actions {
+        cg_snat;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table nat_outside {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        cg_dnat;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table ipv4_fib {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        fwd;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_udp {
+    extract(udp);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        if ((standard_metadata.ingress_port < 8)) {
+            apply(nat_inside);
+        } else {
+            apply(nat_outside);
+        }
+        apply(ipv4_fib);
+    }
+}

@@ -1,0 +1,241 @@
+// program: ddos_mitigation
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type syn_cms_meta_t {
+    fields {
+        idx0 : 32;
+        count0 : 32;
+        idx1 : 32;
+        count1 : 32;
+        count : 32;
+    }
+}
+
+header_type allow_meta_t {
+    fields {
+        idx0 : 32;
+        bit0 : 8;
+        idx1 : 32;
+        bit1 : 8;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+header udp_t udp;
+metadata syn_cms_meta_t syn_cms_meta;
+metadata allow_meta_t allow_meta;
+
+register syn_cms_row0 {
+    width : 32;
+    instance_count : 512;
+}
+
+register syn_cms_row1 {
+    width : 32;
+    instance_count : 512;
+}
+
+register allow_array0 {
+    width : 8;
+    instance_count : 1024;
+}
+
+register allow_array1 {
+    width : 8;
+    instance_count : 1024;
+}
+
+action fwd(port) {
+    set_egress_port(port);
+}
+
+action ddos_drop() {
+    drop();
+}
+
+action syn_cms_update0() {
+    hash(syn_cms_meta.idx0, crc32_a, {ipv4.srcAddr}, size(syn_cms_row0));
+    register_read(syn_cms_meta.count0, syn_cms_row0, syn_cms_meta.idx0);
+    add_to_field(syn_cms_meta.count0, 1);
+    register_write(syn_cms_row0, syn_cms_meta.idx0, syn_cms_meta.count0);
+}
+
+action syn_cms_update1() {
+    hash(syn_cms_meta.idx1, crc32_b, {ipv4.srcAddr}, size(syn_cms_row1));
+    register_read(syn_cms_meta.count1, syn_cms_row1, syn_cms_meta.idx1);
+    add_to_field(syn_cms_meta.count1, 1);
+    register_write(syn_cms_row1, syn_cms_meta.idx1, syn_cms_meta.count1);
+}
+
+action syn_cms_min_action() {
+    min(syn_cms_meta.count, syn_cms_meta.count0, syn_cms_meta.count1);
+}
+
+action allow_check0() {
+    hash(allow_meta.idx0, crc32_a, {ipv4.srcAddr}, size(allow_array0));
+    register_read(allow_meta.bit0, allow_array0, allow_meta.idx0);
+}
+
+action allow_check1() {
+    hash(allow_meta.idx1, crc32_b, {ipv4.srcAddr}, size(allow_array1));
+    register_read(allow_meta.bit1, allow_array1, allow_meta.idx1);
+}
+
+table ipv4_fib {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        fwd;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+table Syn_1 {
+    reads {
+        tcp.flags : exact;
+    }
+    actions {
+        syn_cms_update0;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table Syn_2 {
+    reads {
+        tcp.flags : exact;
+    }
+    actions {
+        syn_cms_update1;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table Syn_Min {
+    reads {
+        tcp.flags : exact;
+    }
+    actions {
+        syn_cms_min_action;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table allow_bf1 {
+    default_action : allow_check0;
+    size : 1024;
+}
+
+table allow_bf2 {
+    default_action : allow_check1;
+    size : 1024;
+}
+
+table ddos_verdict {
+    reads {
+        allow_meta.bit0 : exact;
+        allow_meta.bit1 : exact;
+    }
+    actions {
+        ddos_drop;
+    }
+    default_action : NoAction;
+    size : 8;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_tcp {
+    extract(tcp);
+    return accept;
+}
+
+parser parse_udp {
+    extract(udp);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(ipv4_fib);
+    }
+    if (valid(tcp)) {
+        apply(Syn_1);
+        apply(Syn_2);
+        apply(Syn_Min);
+        if ((syn_cms_meta.count >= 64)) {
+            apply(allow_bf1);
+            apply(allow_bf2);
+            apply(ddos_verdict);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+// program: load_balancer
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        dscp : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length : 16;
+        checksum : 16;
+    }
+}
+
+header_type lb_meta_t {
+    fields {
+        bucket : 32;
+        conns : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header udp_t udp;
+metadata lb_meta_t lb_meta;
+
+register lb_conns {
+    width : 32;
+    instance_count : 16;
+}
+
+action lb_pick_bucket() {
+    hash(lb_meta.bucket, crc32_a, {ipv4.srcAddr, ipv4.dstAddr, udp.srcPort, udp.dstPort}, size(lb_conns));
+    register_read(lb_meta.conns, lb_conns, lb_meta.bucket);
+    add_to_field(lb_meta.conns, 1);
+    register_write(lb_conns, lb_meta.bucket, lb_meta.conns);
+}
+
+action lb_to_backend(dip, port) {
+    modify_field(ipv4.dstAddr, dip);
+    set_egress_port(port);
+}
+
+action fwd(port) {
+    set_egress_port(port);
+}
+
+table vip {
+    reads {
+        ipv4.dstAddr : exact;
+    }
+    actions {
+        lb_pick_bucket;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table lb_backend {
+    reads {
+        lb_meta.bucket : exact;
+    }
+    actions {
+        lb_to_backend;
+    }
+    default_action : NoAction;
+    size : 16;
+}
+
+table ipv4_fib {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        fwd;
+    }
+    default_action : NoAction;
+    size : 64;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        2048 : parse_ipv4;
+        default : accept;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        17 : parse_udp;
+        default : accept;
+    }
+}
+
+parser parse_udp {
+    extract(udp);
+    return accept;
+}
+
+control ingress {
+    if (valid(ipv4)) {
+        apply(ipv4_fib);
+    }
+    if (valid(udp)) {
+        apply(vip) {
+            hit {
+                apply(lb_backend);
+            }
+        }
+    }
+}

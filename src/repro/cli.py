@@ -26,6 +26,14 @@ Commands:
   persistent store (default root: ``$P2GO_STORE``, then
   ``~/.cache/p2go``).
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
+* ``fuzz [--seed N] [--iterations N] [--time-budget S] [--axes a,b]
+  [--shrink/--no-shrink] [--repro-dir DIR]`` — seeded differential
+  fuzzing of the optimizer: random well-formed programs + traces, each
+  checked on the behaviour/cache/workers/store/order oracle axes;
+  failures are shrunk to minimal replayable repro files.  Exit code 1
+  when any axis disagrees.  ``--replay FILE`` re-runs a repro file
+  instead; ``--break-optimizer`` sabotages the optimized program on
+  purpose (mutation self-test — the run *must* fail).
 
 Runtime-config JSON schema::
 
@@ -219,15 +227,21 @@ def cmd_store_clear(args: argparse.Namespace) -> int:
 
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro.programs import (
+        cgnat,
+        ddos_mitigation,
         example_firewall,
         failure_detection,
+        load_balancer,
         nat_gre,
         sourceguard,
         telemetry,
     )
 
     modules = {
+        "cgnat": cgnat,
+        "ddos_mitigation": ddos_mitigation,
         "example_firewall": example_firewall,
+        "load_balancer": load_balancer,
         "nat_gre": nat_gre,
         "sourceguard": sourceguard,
         "failure_detection": failure_detection,
@@ -252,6 +266,54 @@ def cmd_demo(args: argparse.Namespace) -> int:
     for obs in result.observations.optimizations():
         print(f"* {obs.title}")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import (
+        ALL_AXES,
+        break_optimizer,
+        replay_repro,
+        run_campaign,
+    )
+
+    if args.replay:
+        failures = replay_repro(args.replay)
+        if not failures:
+            print(f"{args.replay}: no longer fails")
+            return 0
+        for failure in failures:
+            print(f"{args.replay}: {failure}")
+        return 1
+
+    if args.axes:
+        axes = tuple(a.strip() for a in args.axes.split(",") if a.strip())
+        unknown = set(axes) - set(ALL_AXES)
+        if unknown:
+            print(
+                f"error: unknown axes {sorted(unknown)}; known: "
+                + ", ".join(ALL_AXES),
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        axes = ALL_AXES
+    result = run_campaign(
+        base_seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        axes=axes,
+        shrink=args.shrink,
+        repro_dir=Path(args.repro_dir) if args.repro_dir else None,
+        trace_packets=args.trace_packets,
+        mutator=break_optimizer if args.break_optimizer else None,
+        log=print,
+    )
+    print(
+        f"{result.iterations} iteration(s), axes {','.join(result.axes)}: "
+        f"{len(result.failures)} failure(s) in "
+        f"{result.elapsed_seconds:.1f}s"
+    )
+    return 0 if result.ok else 1
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -347,6 +409,50 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p_demo = sub.add_parser("demo", help="run a built-in scenario")
     p_demo.add_argument("name")
     p_demo.set_defaults(func=cmd_demo)
+
+    p_fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing of the optimizer"
+    )
+    p_fuzz.add_argument(
+        "--seed", type=int, default=0,
+        help="base seed; iteration i uses seed+i (default 0)",
+    )
+    p_fuzz.add_argument(
+        "--iterations", type=int, default=25,
+        help="number of seeded cases to run (default 25)",
+    )
+    p_fuzz.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop starting new iterations after this many seconds",
+    )
+    p_fuzz.add_argument(
+        "--axes", default=None,
+        help="comma-separated oracle axes (default: all of "
+        "behavior,cache,workers,store,order)",
+    )
+    p_fuzz.add_argument(
+        "--shrink", default=True, action=argparse.BooleanOptionalAction,
+        help="minimize failing cases before writing repros (default on)",
+    )
+    p_fuzz.add_argument(
+        "--repro-dir", metavar="DIR", default=None,
+        help="write a replayable repro JSON per failure into this "
+        "directory",
+    )
+    p_fuzz.add_argument(
+        "--trace-packets", type=int, default=None,
+        help="override generated trace length (smaller = faster)",
+    )
+    p_fuzz.add_argument(
+        "--replay", metavar="FILE", default=None,
+        help="re-run one repro file instead of a campaign",
+    )
+    p_fuzz.add_argument(
+        "--break-optimizer", action="store_true",
+        help="mutation self-test: sabotage the optimized program so "
+        "the behaviour axis must fail",
+    )
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

@@ -84,6 +84,15 @@ def find_removal_candidates(
             continue  # zero stage separation already (successor/reverse)
         if dependency_manifests(dep, profile):
             continue
+        # The rewrite makes dst run only when src misses, i.e. it
+        # suppresses dst on every src-hit packet.  Unmanifested causes
+        # are not enough: if any profiled packet hit src while dst was
+        # applied (even just its default action), relocation would
+        # change that packet's traversal — found by differential
+        # fuzzing, where generated tables hit and apply in combinations
+        # the hand-written examples never exercise.
+        if profile.hit_coapplied_with_table(dep.src, dep.dst):
+            continue
         causes = ", ".join(
             f"{c.src_action}/{c.dst_action or '<match>'} on "
             f"{{{', '.join(sorted(c.fields)) or ', '.join(sorted(c.registers))}}}"

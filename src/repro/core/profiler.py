@@ -75,6 +75,24 @@ class Profile:
                 return True
         return False
 
+    def hit_coapplied_with_table(self, src: str, table: str) -> bool:
+        """Was some packet a *hit* in ``src`` while also traversing
+        ``table`` (any action, including the default)?
+
+        Phase 2's miss-branch relocation suppresses ``table`` exactly on
+        the packets where ``src`` hits, so any such packet proves the
+        rewrite would change behaviour on this trace.
+        """
+        for group in self.nonexclusive_sets:
+            if not any(
+                pair[0] == src and pair in self._hit_pairs
+                for pair in group
+            ):
+                continue
+            if any(pair[0] == table for pair in group):
+                return True
+        return False
+
     def hit_action_sets(self) -> List[FrozenSet[ActionPair]]:
         """Observed sets restricted to *hit* actions (Table 1's view)."""
         hits = {

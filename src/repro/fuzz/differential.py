@@ -1,0 +1,296 @@
+"""The five differential oracle axes.
+
+Each axis runs a generated case two different ways through machinery
+that *must not* change observable behaviour, and reports the first
+disagreement:
+
+``behavior``
+    Original program vs the phases-(2, 3) optimized program, compared
+    packet-for-packet with
+    :func:`repro.controller.equivalence.compare_behavior` (the paper's
+    behaviour-preservation contract).  When the full (2, 3, 4) run
+    offloads nothing, its output is held to the same strict standard.
+``cache``
+    The flow-result cache + compiled match structures vs the uncached
+    reference interpreter, on both the original and the optimized
+    program.
+``workers``
+    ``workers=1`` vs ``workers=4`` pipeline runs must produce
+    byte-identical results (program, config, counters, observations).
+``store``
+    A store-backed run (cold, then warm-started from its own probes)
+    must decide exactly what the memory-only run decides.
+``order``
+    The pass-framework pipeline vs the seed orchestrator kept verbatim
+    in :mod:`repro.core.seed_pipeline`, for the paper's (2, 3, 4) order.
+
+A crash anywhere is reported as a failure on the axis that raised it —
+crashes are findings too, and the shrinker minimizes them the same way.
+"""
+
+from __future__ import annotations
+
+import re
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.controller.equivalence import compare_behavior
+from repro.core.pipeline import P2GO, P2GOResult
+from repro.core.seed_pipeline import run_seed
+from repro.core.session import config_fingerprint, program_fingerprint
+from repro.fuzz.generator import GeneratedCase
+from repro.p4.program import Program
+
+#: All oracle axes, in the order they run.
+ALL_AXES = ("behavior", "cache", "workers", "store", "order")
+
+#: Optional hook that corrupts the optimized program before the
+#: behaviour comparison — the mutation-testing entry point used to prove
+#: the harness actually catches broken passes.
+Mutator = Callable[[Program], Program]
+
+_TIMING = re.compile(r"[\d,.]+ packets/s")
+
+
+@dataclass
+class AxisFailure:
+    """One oracle disagreement (or crash) on one axis."""
+
+    axis: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.axis}] {self.detail}"
+
+
+def _scrub(text: str) -> str:
+    return _TIMING.sub("<rate> packets/s", text)
+
+
+def canonical(result: P2GOResult, decisions_only: bool = False) -> bytes:
+    """Canonical byte serialization of everything a run decides.
+
+    With ``decisions_only`` the session counters, per-phase perf and
+    observation text are excluded: store-backed runs legitimately skip
+    executions (different counters, extra provenance lines) while still
+    having to make identical *decisions*.
+    """
+    decisions = (
+        program_fingerprint(result.optimized_program),
+        config_fingerprint(result.final_config),
+        result.offloaded_tables,
+        result.stage_history(),
+        [o.stage_map for o in result.outcomes],
+    )
+    if decisions_only:
+        return repr(decisions).encode()
+    perfs = [
+        (
+            outcome.phase.name,
+            outcome.stages,
+            None
+            if outcome.profiling_perf is None
+            else (
+                outcome.profiling_perf.packets,
+                outcome.profiling_perf.cache_hits,
+                outcome.profiling_perf.cache_misses,
+                outcome.profiling_perf.cache_evictions,
+                sorted(outcome.profiling_perf.table_lookups.items()),
+            ),
+        )
+        for outcome in result.outcomes
+    ]
+    observations = [
+        (obs.phase.name, obs.kind.name, obs.title, _scrub(obs.details))
+        for obs in result.observations.items
+    ]
+    return repr(
+        (decisions, result.session_counters.as_dict(), perfs, observations)
+    ).encode()
+
+
+def _run_pipeline(
+    case: GeneratedCase,
+    phases: Tuple[int, ...] = (2, 3, 4),
+    workers: int = 1,
+    store=False,
+) -> P2GOResult:
+    return P2GO(
+        case.program,
+        case.config.clone(),
+        case.trace,
+        case.target,
+        phases=phases,
+        workers=workers,
+        store=store,
+    ).run()
+
+
+def _cache_configs(config):
+    on = config.clone()
+    on.enable_flow_cache = True
+    on.enable_compiled_tables = True
+    off = config.clone()
+    off.enable_flow_cache = False
+    off.enable_compiled_tables = False
+    return on, off
+
+
+# ----------------------------------------------------------------------
+# Axis implementations.  Each returns None (agreement) or an AxisFailure.
+
+
+def _check_behavior(
+    case: GeneratedCase, mutator: Optional[Mutator]
+) -> Optional[AxisFailure]:
+    result = _run_pipeline(case, phases=(2, 3))
+    optimized = result.optimized_program
+    if mutator is not None:
+        optimized = mutator(optimized)
+    report = compare_behavior(
+        case.program,
+        case.config.clone(),
+        optimized,
+        result.final_config.clone(),
+        case.trace,
+    )
+    if not report.equivalent:
+        return AxisFailure(
+            "behavior",
+            f"phases (2,3) output disagrees on "
+            f"{len(report.mismatches)}/{report.total} packets "
+            f"(first at index {report.mismatches[0]})",
+        )
+    full = _run_pipeline(case)
+    if not full.offloaded_tables and mutator is None:
+        report = compare_behavior(
+            case.program,
+            case.config.clone(),
+            full.optimized_program,
+            full.final_config.clone(),
+            case.trace,
+        )
+        if not report.equivalent:
+            return AxisFailure(
+                "behavior",
+                f"phases (2,3,4) output (no offload) disagrees on "
+                f"{len(report.mismatches)}/{report.total} packets",
+            )
+    return None
+
+
+def _check_cache(case: GeneratedCase) -> Optional[AxisFailure]:
+    result = _run_pipeline(case, phases=(2, 3))
+    for label, program, config in (
+        ("original", case.program, case.config),
+        ("optimized", result.optimized_program, result.final_config),
+    ):
+        cached, uncached = _cache_configs(config)
+        report = compare_behavior(
+            program, cached, program, uncached, case.trace
+        )
+        if not report.equivalent:
+            return AxisFailure(
+                "cache",
+                f"cached vs uncached interpreter disagree on the "
+                f"{label} program: {len(report.mismatches)}/"
+                f"{report.total} packets (first at index "
+                f"{report.mismatches[0]})",
+            )
+    return None
+
+
+def _check_workers(case: GeneratedCase) -> Optional[AxisFailure]:
+    serial = _run_pipeline(case, workers=1)
+    parallel = _run_pipeline(case, workers=4)
+    if canonical(serial) != canonical(parallel):
+        return AxisFailure(
+            "workers",
+            "workers=1 and workers=4 runs are not byte-identical",
+        )
+    return None
+
+
+def _check_store(
+    case: GeneratedCase, store_root: Optional[str]
+) -> Optional[AxisFailure]:
+    import tempfile
+
+    memory_only = _run_pipeline(case, store=False)
+    with tempfile.TemporaryDirectory(dir=store_root) as root:
+        cold = _run_pipeline(case, store=root)
+        warm = _run_pipeline(case, store=root)
+    for label, other in (("cold", cold), ("warm-started", warm)):
+        if canonical(memory_only, decisions_only=True) != canonical(
+            other, decisions_only=True
+        ):
+            return AxisFailure(
+                "store",
+                f"store-off and {label} store-on runs decided "
+                "differently",
+            )
+    return None
+
+
+def _check_order(case: GeneratedCase) -> Optional[AxisFailure]:
+    new = _run_pipeline(case)
+    seed_result = run_seed(
+        case.program,
+        case.config.clone(),
+        case.trace,
+        case.target,
+        phases=(2, 3, 4),
+    )
+    if canonical(new, decisions_only=True) != canonical(
+        seed_result, decisions_only=True
+    ):
+        return AxisFailure(
+            "order",
+            "pass-framework (2,3,4) run and the seed orchestrator "
+            "decided differently",
+        )
+    return None
+
+
+def run_axes(
+    case: GeneratedCase,
+    axes: Sequence[str] = ALL_AXES,
+    mutator: Optional[Mutator] = None,
+    store_root: Optional[str] = None,
+    stop_on_first: bool = True,
+) -> List[AxisFailure]:
+    """Run the requested oracle axes on one case.
+
+    Returns the failures found (empty list = full agreement).  Unknown
+    axis names raise ``ValueError`` up front.
+    """
+    unknown = set(axes) - set(ALL_AXES)
+    if unknown:
+        raise ValueError(
+            f"unknown axes {sorted(unknown)}; known: {list(ALL_AXES)}"
+        )
+    failures: List[AxisFailure] = []
+    for axis in ALL_AXES:
+        if axis not in axes:
+            continue
+        try:
+            if axis == "behavior":
+                failure = _check_behavior(case, mutator)
+            elif axis == "cache":
+                failure = _check_cache(case)
+            elif axis == "workers":
+                failure = _check_workers(case)
+            elif axis == "store":
+                failure = _check_store(case, store_root)
+            else:
+                failure = _check_order(case)
+        except Exception:
+            failure = AxisFailure(
+                axis, "crash:\n" + traceback.format_exc(limit=8)
+            )
+        if failure is not None:
+            failures.append(failure)
+            if stop_on_first:
+                break
+    return failures

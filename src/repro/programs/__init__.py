@@ -1,9 +1,13 @@
-"""Example P4 programs: the paper's running example and §4's scenarios."""
+"""Example P4 programs: the paper's running example, §4's scenarios, and
+programs promoted from the fuzz corpus."""
 
 from repro.programs import (
+    cgnat,
+    ddos_mitigation,
     enterprise,
     example_firewall,
     failure_detection,
+    load_balancer,
     nat_gre,
     sourceguard,
     telemetry,
@@ -12,9 +16,12 @@ from repro.programs.common import EXAMPLE_TARGET
 
 __all__ = [
     "EXAMPLE_TARGET",
+    "cgnat",
+    "ddos_mitigation",
     "enterprise",
     "example_firewall",
     "failure_detection",
+    "load_balancer",
     "nat_gre",
     "sourceguard",
     "telemetry",

@@ -1,0 +1,193 @@
+"""Carrier-grade NAT — a fuzz-corpus program promoted to an example.
+
+Subscriber traffic arriving on inside ports is source-translated to a
+public address drawn from the carrier pool (the SNAT action also counts
+translations per subscriber in a register array); return traffic on the
+outside port is destination-translated back.  Direction is decided in
+the control flow from ``standard_metadata.ingress_port``, so the two
+NAT tables are never applied to the same packet — exactly the
+trace-invisible exclusivity phase 2 exists to discover (the compiler
+still serializes them: both write IPv4 addresses the FIB reads).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.p4 import (
+    AddToField,
+    Apply,
+    BinOp,
+    Const,
+    FieldRef,
+    HashFields,
+    If,
+    ModifyField,
+    ParamRef,
+    Program,
+    ProgramBuilder,
+    RegisterRead,
+    RegisterSize,
+    RegisterWrite,
+    Seq,
+    SetEgressPort,
+    ValidExpr,
+)
+from repro.packets.craft import udp_packet
+from repro.packets.headers import ip_to_int
+from repro.programs.common import (
+    EXAMPLE_TARGET,
+    add_ethernet_ipv4_parser,
+    register_standard_headers,
+)
+from repro.sim.runtime import RuntimeConfig
+from repro.target.model import TargetModel
+
+TARGET: TargetModel = EXAMPLE_TARGET
+
+#: Ingress ports below this carry subscriber (inside) traffic; the rest
+#: face the internet.
+INSIDE_PORT_LIMIT = 8
+
+#: The uplink port used when no more specific route matches.
+UPLINK_PORT = 9
+
+#: subscriber private IP -> (inside ingress port, public pool address).
+SUBSCRIBERS: Dict[str, Tuple[int, str]] = {
+    "100.64.1.10": (0, "192.0.2.1"),
+    "100.64.1.11": (1, "192.0.2.2"),
+    "100.64.2.10": (2, "192.0.2.3"),
+    "100.64.2.11": (3, "192.0.2.4"),
+}
+
+#: Cells in the per-subscriber translation counter.
+XLATE_CELLS = 64
+
+
+def build_program() -> Program:
+    b = ProgramBuilder("cgnat")
+    register_standard_headers(b, ["ethernet", "ipv4", "udp"])
+    add_ethernet_ipv4_parser(b, l4=("udp",))
+
+    b.metadata("cg_meta", [("idx", 32), ("xlations", 32)])
+    b.register("cg_xlate", width=32, size=XLATE_CELLS)
+
+    idx = FieldRef("cg_meta", "idx")
+    xlations = FieldRef("cg_meta", "xlations")
+    # SNAT: rewrite the source to the subscriber's pool address and count
+    # the translation.  The register lives only in this action, so
+    # nat_inside is its sole owner.
+    b.action(
+        "cg_snat",
+        [
+            HashFields(
+                idx,
+                "fnv1a",
+                (FieldRef("ipv4", "srcAddr"),),
+                RegisterSize("cg_xlate"),
+            ),
+            RegisterRead(xlations, "cg_xlate", idx),
+            AddToField(xlations, Const(1)),
+            RegisterWrite("cg_xlate", idx, xlations),
+            ModifyField(FieldRef("ipv4", "srcAddr"), ParamRef("public")),
+        ],
+        parameters=["public"],
+    )
+    b.action(
+        "cg_dnat",
+        [ModifyField(FieldRef("ipv4", "dstAddr"), ParamRef("inside"))],
+        parameters=["inside"],
+    )
+    b.action("fwd", [SetEgressPort(ParamRef("port"))], parameters=["port"])
+
+    b.table(
+        "nat_inside",
+        keys=[
+            ("standard_metadata.ingress_port", "exact"),
+            ("ipv4.srcAddr", "exact"),
+        ],
+        actions=["cg_snat"],
+        size=XLATE_CELLS,
+    )
+    b.table(
+        "nat_outside",
+        keys=[("ipv4.dstAddr", "exact")],
+        actions=["cg_dnat"],
+        size=XLATE_CELLS,
+    )
+    b.table(
+        "ipv4_fib",
+        keys=[("ipv4.dstAddr", "lpm")],
+        actions=["fwd"],
+        size=64,
+    )
+
+    ingress_port = FieldRef("standard_metadata", "ingress_port")
+    b.ingress(
+        If(
+            ValidExpr("ipv4"),
+            Seq(
+                [
+                    If(
+                        BinOp("<", ingress_port, Const(INSIDE_PORT_LIMIT)),
+                        Apply("nat_inside"),
+                        Apply("nat_outside"),
+                    ),
+                    Apply("ipv4_fib"),
+                ]
+            ),
+        )
+    )
+    return b.build()
+
+
+def runtime_config() -> RuntimeConfig:
+    cfg = RuntimeConfig()
+    for private, (port, public) in SUBSCRIBERS.items():
+        cfg.add_entry(
+            "nat_inside",
+            [port, ip_to_int(private)],
+            "cg_snat",
+            [ip_to_int(public)],
+        )
+        cfg.add_entry(
+            "nat_outside",
+            [ip_to_int(public)],
+            "cg_dnat",
+            [ip_to_int(private)],
+        )
+    # Translated-back subscriber space routes to the inside ports.
+    cfg.add_entry("ipv4_fib", [(ip_to_int("100.64.0.0"), 10)], "fwd", [0])
+    cfg.add_entry("ipv4_fib", [(0, 0)], "fwd", [UPLINK_PORT])
+    return cfg
+
+
+def make_trace(total: int = 4_000, seed: int = 19) -> List[Tuple[bytes, int]]:
+    """Subscriber uploads on inside ports and their return traffic.
+
+    Every packet carries its ingress port: uploads enter on the
+    subscriber's own port, returns on the uplink.
+    """
+    rng = random.Random(seed)
+    packets: List[Tuple[bytes, int]] = []
+    subscribers = sorted(SUBSCRIBERS)
+    internet = ip_to_int("93.184.216.0")
+    for _ in range(int(total * 0.6)):
+        private = rng.choice(subscribers)
+        port, _public = SUBSCRIBERS[private]
+        dst = internet + rng.randrange(1, 1 << 8)
+        packets.append(
+            (udp_packet(ip_to_int(private), dst,
+                        rng.randrange(1024, 65535), 443), port)
+        )
+    while len(packets) < total:
+        private = rng.choice(subscribers)
+        _port, public = SUBSCRIBERS[private]
+        src = internet + rng.randrange(1, 1 << 8)
+        packets.append(
+            (udp_packet(src, ip_to_int(public),
+                        443, rng.randrange(1024, 65535)), UPLINK_PORT)
+        )
+    rng.shuffle(packets)
+    return packets

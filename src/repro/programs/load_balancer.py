@@ -1,0 +1,172 @@
+"""Layer-4 load balancer — a fuzz-corpus program promoted to an example.
+
+A VIP table admits traffic aimed at a virtual service address; its hit
+action hashes the 5-tuple into a bucket (counting connections per bucket
+in a register array) and a backend table rewrites the destination to the
+bucket's real server.  Non-VIP traffic skips the balancer entirely, so
+the VIP miss path and the plain FIB path dominate the profile — the
+shape that lets phase 2 drop the balancer's compiler-assumed
+dependencies when a deployment's trace never exercises a VIP.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.p4 import (
+    AddToField,
+    Apply,
+    Const,
+    FieldRef,
+    HashFields,
+    If,
+    ModifyField,
+    ParamRef,
+    Program,
+    ProgramBuilder,
+    RegisterRead,
+    RegisterSize,
+    RegisterWrite,
+    Seq,
+    SetEgressPort,
+    ValidExpr,
+)
+from repro.packets.craft import tcp_packet, udp_packet
+from repro.packets.headers import ip_to_int
+from repro.programs.common import (
+    EXAMPLE_TARGET,
+    add_ethernet_ipv4_parser,
+    register_standard_headers,
+)
+from repro.sim.runtime import RuntimeConfig
+from repro.target.model import TargetModel
+
+TARGET: TargetModel = EXAMPLE_TARGET
+
+#: Virtual service addresses the balancer owns.
+VIPS = ("198.18.0.10", "198.18.0.20")
+
+#: Real servers behind the VIPs, rotated across hash buckets.
+BACKENDS = ("10.20.0.1", "10.20.0.2", "10.20.0.3", "10.20.0.4")
+
+#: Hash buckets (and cells in the per-bucket connection counter).
+BUCKETS = 16
+
+
+def build_program() -> Program:
+    b = ProgramBuilder("load_balancer")
+    register_standard_headers(b, ["ethernet", "ipv4", "udp"])
+    add_ethernet_ipv4_parser(b, l4=("udp",))
+
+    b.metadata("lb_meta", [("bucket", 32), ("conns", 32)])
+    b.register("lb_conns", width=32, size=BUCKETS)
+
+    bucket = FieldRef("lb_meta", "bucket")
+    conns = FieldRef("lb_meta", "conns")
+    # The VIP table's hit action: pick the bucket and count the
+    # connection.  The register is read and written here only, so the
+    # vip table is its sole owner.
+    b.action(
+        "lb_pick_bucket",
+        [
+            HashFields(
+                bucket,
+                "crc32_a",
+                (
+                    FieldRef("ipv4", "srcAddr"),
+                    FieldRef("ipv4", "dstAddr"),
+                    FieldRef("udp", "srcPort"),
+                    FieldRef("udp", "dstPort"),
+                ),
+                RegisterSize("lb_conns"),
+            ),
+            RegisterRead(conns, "lb_conns", bucket),
+            AddToField(conns, Const(1)),
+            RegisterWrite("lb_conns", bucket, conns),
+        ],
+    )
+    b.action(
+        "lb_to_backend",
+        [
+            ModifyField(FieldRef("ipv4", "dstAddr"), ParamRef("dip")),
+            SetEgressPort(ParamRef("port")),
+        ],
+        parameters=["dip", "port"],
+    )
+    b.action("fwd", [SetEgressPort(ParamRef("port"))], parameters=["port"])
+
+    b.table(
+        "vip",
+        keys=[("ipv4.dstAddr", "exact")],
+        actions=["lb_pick_bucket"],
+        size=16,
+    )
+    b.table(
+        "lb_backend",
+        keys=[("lb_meta.bucket", "exact")],
+        actions=["lb_to_backend"],
+        size=BUCKETS,
+    )
+    b.table(
+        "ipv4_fib",
+        keys=[("ipv4.dstAddr", "lpm")],
+        actions=["fwd"],
+        size=64,
+    )
+
+    # FIB first; the balancer overrides its verdict for VIP traffic
+    # (direct-server-return style: the DIP rewrite and the per-bucket
+    # egress pick happen after routing).
+    b.ingress(
+        Seq(
+            [
+                If(ValidExpr("ipv4"), Apply("ipv4_fib")),
+                If(
+                    ValidExpr("udp"),
+                    Apply("vip", on_hit=Apply("lb_backend")),
+                ),
+            ]
+        )
+    )
+    return b.build()
+
+
+def runtime_config() -> RuntimeConfig:
+    cfg = RuntimeConfig()
+    for vip in VIPS:
+        cfg.add_entry("vip", [ip_to_int(vip)], "lb_pick_bucket")
+    for bucket in range(BUCKETS):
+        backend = BACKENDS[bucket % len(BACKENDS)]
+        cfg.add_entry(
+            "lb_backend",
+            [bucket],
+            "lb_to_backend",
+            [ip_to_int(backend), 2 + bucket % len(BACKENDS)],
+        )
+    cfg.add_entry("ipv4_fib", [(ip_to_int("10.20.0.0"), 16)], "fwd", [2])
+    cfg.add_entry("ipv4_fib", [(ip_to_int("172.16.0.0"), 12)], "fwd", [3])
+    cfg.add_entry("ipv4_fib", [(0, 0)], "fwd", [1])
+    return cfg
+
+
+def make_trace(total: int = 4_000, seed: int = 13) -> List[bytes]:
+    """Client flows to the VIPs plus transit traffic that skips them."""
+    rng = random.Random(seed)
+    packets: List[bytes] = []
+    vip_ints = tuple(ip_to_int(v) for v in VIPS)
+    for _ in range(int(total * 0.70)):
+        src = ip_to_int("192.0.2.0") + rng.randrange(1, 1 << 10)
+        packets.append(
+            udp_packet(src, rng.choice(vip_ints),
+                       rng.randrange(1024, 65535), 443)
+        )
+    while len(packets) < total:
+        src = ip_to_int("192.0.2.0") + rng.randrange(1, 1 << 10)
+        dst = ip_to_int("172.16.0.0") + rng.randrange(1, 1 << 12)
+        packets.append(
+            tcp_packet(src, dst, rng.randrange(1024, 65535), 80,
+                       seq=rng.randrange(1 << 32))
+        )
+    rng.shuffle(packets)
+    return packets

@@ -269,3 +269,33 @@ class TestDemo:
     def test_unknown_demo(self, capsys):
         assert main(["demo", "nope"]) == 2
         assert "unknown demo" in capsys.readouterr().err
+
+
+class TestFuzz:
+    def test_healthy_iteration_exits_zero(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--iterations", "1"]) == 0
+        assert "0 failure(s)" in capsys.readouterr().out
+
+    def test_broken_optimizer_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--seed", "3",
+                "--iterations", "1",
+                "--axes", "behavior",
+                "--break-optimizer",
+                "--repro-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "shrunk to" in out
+        repros = list(tmp_path.glob("repro-*.json"))
+        assert len(repros) == 1
+        # The written repro replays clean under the real optimizer.
+        assert main(["fuzz", "--replay", str(repros[0])]) == 0
+        assert "no longer fails" in capsys.readouterr().out
+
+    def test_unknown_axis_rejected(self, capsys):
+        assert main(["fuzz", "--axes", "bogus"]) == 2
+        assert "unknown axes" in capsys.readouterr().err

@@ -32,9 +32,12 @@ SMALL_TARGET = TargetModel(
 
 #: program -> (stages on DEFAULT_TARGET, fits, stages on SMALL_TARGET, fits)
 GOLDEN = {
+    "cgnat": (2, True, 2, True),
+    "ddos_mitigation": (4, True, 5, False),
     "enterprise": (5, True, 11, False),
     "example_firewall": (3, True, 8, False),
     "failure_detection": (4, True, 4, True),
+    "load_balancer": (2, True, 2, True),
     "nat_gre": (4, True, 4, True),
     "sourceguard": (2, True, 5, False),
     "telemetry": (2, True, 5, False),

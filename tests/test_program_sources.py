@@ -8,9 +8,12 @@ import pytest
 from repro.p4.control import control_equal, normalize
 from repro.p4.dsl import parse_program
 from repro.programs import (
+    cgnat,
+    ddos_mitigation,
     enterprise,
     example_firewall,
     failure_detection,
+    load_balancer,
     nat_gre,
     sourceguard,
     telemetry,
@@ -19,7 +22,10 @@ from repro.programs import (
 SOURCES = Path(__file__).parent.parent / "examples" / "programs"
 
 MODULES = {
+    "cgnat": cgnat,
+    "ddos_mitigation": ddos_mitigation,
     "example_firewall": example_firewall,
+    "load_balancer": load_balancer,
     "nat_gre": nat_gre,
     "sourceguard": sourceguard,
     "failure_detection": failure_detection,
