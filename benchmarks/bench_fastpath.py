@@ -1,0 +1,307 @@
+"""The million-pps fast path: exec-compiled whole-pipeline replay.
+
+Measures the four engine tiers of the simulator stack (ARCHITECTURE.md)
+on every bundled program:
+
+* **reference** — the uncached interpreter (the oracle),
+* **cached** — flow-result cache + compiled match structures,
+* **fastpath scalar** — per-packet dispatch through the generated code,
+* **fastpath batch** — the columnar struct-of-arrays sweep
+  (``process_many``), the default route.
+
+Methodology: every engine replays the same trace on its own pre-warmed
+switch; rounds are *interleaved* across engines and each engine reports
+its fastest round, so CPU-frequency drift hits all tiers alike instead
+of whichever ran last.  Alongside throughput the bench records the
+specializer's one-off compile cost (``specialize_seconds``) and the
+break-even trace length — the packet count after which the fast path
+has repaid that cost relative to the cached engine.
+
+Acceptance gate (ISSUE 7): on the stateless firewall trace the batch
+fast path must beat the cached engine by >= 3x with zero per-packet
+result mismatches against the reference interpreter.
+
+``P2GO_WRITE_BASELINE=1`` (or ``--write-baseline``) refreshes the
+committed ``BENCH_fastpath.json``.  CI's quick mode::
+
+    PYTHONPATH=src python benchmarks/bench_fastpath.py --quick
+
+re-runs the firewall gate on a shorter trace and fails on mismatches,
+on a speedup below the 3x bar, or on a >30% packets/s regression
+against the committed baseline.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.programs import (
+    cgnat,
+    ddos_mitigation,
+    example_firewall,
+    load_balancer,
+    nat_gre,
+)
+from repro.sim import BehavioralSwitch
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_fastpath.json"
+)
+#: Quick mode fails when batch-fastpath packets/s falls below this
+#: fraction of the committed baseline (>30% regression).
+REGRESSION_FLOOR = 0.7
+#: The acceptance bar: batch fast path vs the cached engine on the
+#: stateless firewall trace.
+SPEEDUP_FLOOR = 3.0
+FULL_PACKETS = 4000
+QUICK_PACKETS = 1500
+ROUNDS = 5
+
+#: (label, module, trace factory name) — the corpus table.  The gate
+#: row replays the stateless firewall trace (closure-friendly, like the
+#: flow-cache bench); the rest replay each program's realistic mix.
+CORPUS = (
+    ("example_firewall", example_firewall, "make_stateless_trace"),
+    ("load_balancer", load_balancer, "make_trace"),
+    ("ddos_mitigation", ddos_mitigation, "make_trace"),
+    ("cgnat", cgnat, "make_trace"),
+    ("nat_gre", nat_gre, "make_trace"),
+)
+
+
+def _fresh_config(module, program):
+    try:
+        return module.runtime_config(program)
+    except TypeError:
+        return module.runtime_config()
+
+
+def _engine_config(module, program, tier):
+    config = _fresh_config(module, program)
+    if tier == "reference":
+        config.enable_flow_cache = False
+        config.enable_compiled_tables = False
+        config.enable_fastpath = False
+    elif tier == "cached":
+        config.enable_fastpath = False
+    else:  # fastpath scalar / batch
+        config.enable_fastpath = True
+    return config
+
+
+def _fingerprint(result):
+    return (
+        result.output_bytes,
+        result.headers,
+        sorted(result.valid),
+        result.steps,
+        result.forwarding_decision(),
+        result.controller_reason,
+    )
+
+
+def _replay(switch, trace, scalar):
+    """One timed replay round; returns (results, seconds)."""
+    if scalar:
+        started = time.perf_counter()
+        results = [
+            switch.process(*(p if isinstance(p, tuple) else (p,)))
+            for p in trace
+        ]
+        return results, time.perf_counter() - started
+    before = switch.perf.elapsed_seconds
+    results = switch.process_many(trace)
+    return results, switch.perf.elapsed_seconds - before
+
+
+def measure_program(label, module, trace_factory, total_packets, rounds=ROUNDS):
+    """One corpus row: all four tiers on one trace, interleaved rounds."""
+    program = module.build_program()
+    trace = getattr(module, trace_factory)(total_packets)
+
+    tiers = {
+        "reference": ("reference", False),
+        "cached": ("cached", False),
+        "fastpath_scalar": ("fastpath", True),
+        "fastpath": ("fastpath", False),
+    }
+    switches = {
+        name: BehavioralSwitch(
+            program, _engine_config(module, program, tier)
+        )
+        for name, (tier, _scalar) in tiers.items()
+    }
+
+    # Warm-up round: compiles match structures, dispatch code and
+    # closures, and yields each tier's result stream for the identity
+    # check (a warm switch's verdicts are installed, but results must be
+    # identical from packet one — the fuzz axis pins the cold case).
+    streams = {}
+    for name, (_tier, scalar) in tiers.items():
+        streams[name], _ = _replay(switches[name], trace, scalar)
+
+    mismatches = 0
+    reference_stream = streams["reference"]
+    for name in ("cached", "fastpath_scalar", "fastpath"):
+        for got, want in zip(streams[name], reference_stream):
+            if _fingerprint(got) != _fingerprint(want):
+                mismatches += 1
+
+    best = {name: float("inf") for name in tiers}
+    for _round in range(rounds):
+        for name, (_tier, scalar) in tiers.items():
+            _results, seconds = _replay(switches[name], trace, scalar)
+            best[name] = min(best[name], seconds)
+    pps = {
+        name: round(len(trace) / seconds, 1)
+        for name, seconds in best.items()
+    }
+
+    engine = switches["fastpath"]._fastpath
+    stats = engine.stats() if engine is not None else {}
+    specialize_seconds = stats.get("specialize_seconds", 0.0)
+    saved_per_packet = (1.0 / pps["cached"]) - (1.0 / pps["fastpath"])
+    break_even = (
+        int(specialize_seconds / saved_per_packet) + 1
+        if saved_per_packet > 0
+        else None
+    )
+    return {
+        "program": label,
+        "trace": f"{trace_factory} x{total_packets}",
+        "packets": total_packets,
+        "mismatches": mismatches,
+        "reference_pps": pps["reference"],
+        "cached_pps": pps["cached"],
+        "fastpath_scalar_pps": pps["fastpath_scalar"],
+        "fastpath_pps": pps["fastpath"],
+        "speedup_vs_cached": round(pps["fastpath"] / pps["cached"], 2),
+        "speedup_vs_reference": round(
+            pps["fastpath"] / pps["reference"], 2
+        ),
+        "specialize_seconds": specialize_seconds,
+        "break_even_packets": break_even,
+        "engine_stats": stats,
+    }
+
+
+def render_row(row):
+    break_even = (
+        f"{row['break_even_packets']} packets"
+        if row["break_even_packets"] is not None
+        else "n/a (fast path not faster)"
+    )
+    return "\n".join([
+        f"{row['program']} ({row['trace']})",
+        f"  reference:        {row['reference_pps']:>12,.0f} packets/s",
+        f"  cached:           {row['cached_pps']:>12,.0f} packets/s",
+        f"  fastpath scalar:  "
+        f"{row['fastpath_scalar_pps']:>12,.0f} packets/s",
+        f"  fastpath batch:   {row['fastpath_pps']:>12,.0f} packets/s",
+        f"  speedup:          {row['speedup_vs_cached']:>11.2f}x vs "
+        f"cached, {row['speedup_vs_reference']:.2f}x vs reference",
+        f"  specialize cost:  {row['specialize_seconds']*1000:>11.2f} ms "
+        f"(break-even after {break_even})",
+        f"  mismatches:       {row['mismatches']:>12d}",
+    ])
+
+
+def measure_all(total_packets=FULL_PACKETS):
+    return [
+        measure_program(label, module, factory, total_packets)
+        for label, module, factory in CORPUS
+    ]
+
+
+def write_baseline():
+    baseline = {
+        "full": measure_all(FULL_PACKETS),
+        "quick": measure_program(
+            "example_firewall",
+            example_firewall,
+            "make_stateless_trace",
+            QUICK_PACKETS,
+        ),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def _gate(row, check_regression):
+    """The acceptance checks; returns a list of failure strings."""
+    failures = []
+    if row["mismatches"]:
+        failures.append(
+            f"{row['mismatches']} per-packet results differ from the "
+            "reference interpreter"
+        )
+    if row["speedup_vs_cached"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"speedup {row['speedup_vs_cached']}x is below the "
+            f"{SPEEDUP_FLOOR}x acceptance bar"
+        )
+    if check_regression and BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = baseline["quick"]["fastpath_pps"] * REGRESSION_FLOOR
+        if row["fastpath_pps"] < floor:
+            failures.append(
+                f"fastpath {row['fastpath_pps']:,.0f} packets/s regressed "
+                f">30% vs the committed baseline "
+                f"({baseline['quick']['fastpath_pps']:,.0f})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Fast-path benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="firewall gate only, short trace; fail on mismatches, a "
+        "<3x speedup, or a >30%% regression vs BENCH_fastpath.json",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh BENCH_fastpath.json with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline or os.environ.get("P2GO_WRITE_BASELINE") == "1":
+        baseline = write_baseline()
+        for row in baseline["full"]:
+            print(render_row(row))
+            print()
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.quick:
+        row = measure_program(
+            "example_firewall",
+            example_firewall,
+            "make_stateless_trace",
+            QUICK_PACKETS,
+        )
+        print(render_row(row))
+        failures = _gate(row, check_regression=True)
+    else:
+        rows = measure_all(FULL_PACKETS)
+        for row in rows:
+            print(render_row(row))
+            print()
+        failures = _gate(rows[0], check_regression=False)
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: fast path bit-identical and past the acceptance bar")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

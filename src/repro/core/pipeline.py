@@ -85,6 +85,15 @@ class P2GOResult:
     #: Metadata only: the optimization outcome is identical with or
     #: without a store (``tests/test_store.py`` pins that).
     store_stats: Optional[dict] = None
+    #: Whether the profiling replays ran on the exec-compiled fast path
+    #: (:mod:`repro.sim.fastpath`).  Metadata only: fast-path results are
+    #: bit-identical to the cached engine's, so the optimization outcome
+    #: is the same either way (``tests/test_fastpath.py`` pins that).
+    fastpath: bool = False
+    #: Why the fast path did not engage (None when ``fastpath`` is True):
+    #: "disabled" when the knob/env left it off, otherwise the
+    #: specializer's refusal reason for this program.
+    fastpath_reason: Optional[str] = None
 
     @property
     def stages_before(self) -> int:
@@ -123,6 +132,14 @@ class P2GO:
     program + config + trace is served entirely from disk — zero
     compiles, zero replays.  When a ``session`` is injected its own
     store (or lack of one) is respected and ``store`` is ignored.
+
+    ``fastpath`` opts the profiling replays into the exec-compiled
+    whole-pipeline fast path (:mod:`repro.sim.fastpath`): ``True``/
+    ``False`` force it, ``None`` (the default) defers to
+    ``$P2GO_FASTPATH``.  Fast-path results are bit-identical to the
+    cached engine's, so this only changes replay speed; whether it
+    engaged (and why not) rides along on ``P2GOResult.fastpath`` /
+    ``fastpath_reason``.
     """
 
     def __init__(
@@ -141,9 +158,14 @@ class P2GO:
         memoize: bool = True,
         workers: Optional[int] = None,
         store=None,
+        fastpath: Optional[bool] = None,
     ):
         program.validate()
         config.validate(program)
+        if fastpath is not None:
+            # Don't mutate the caller's config object.
+            config = config.clone()
+            config.enable_fastpath = fastpath
         self.program = program
         self.config = config
         self.trace = list(trace)
@@ -282,6 +304,14 @@ class P2GO:
         manager = PassManager(ctx, review_hook=self.review_hook, log=log)
         outcomes.extend(manager.run(passes))
 
+        from repro.sim.fastpath import can_specialize, resolve_fastpath
+
+        if resolve_fastpath(self.config.enable_fastpath):
+            fastpath_reason = can_specialize(self.program, self.config)
+            fastpath_on = fastpath_reason is None
+        else:
+            fastpath_on, fastpath_reason = False, "disabled"
+
         return P2GOResult(
             original_program=self.program,
             optimized_program=ctx.program,
@@ -295,6 +325,8 @@ class P2GO:
             profiling_perf=profiling_perf,
             session_counters=ctx.counters,
             workers=ctx.workers,
+            fastpath=fastpath_on,
+            fastpath_reason=fastpath_reason,
         )
 
 

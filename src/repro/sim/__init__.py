@@ -2,12 +2,24 @@
 
 Besides the reference interpreter this package houses the fast profiling
 engine: the flow-result cache (:mod:`repro.sim.flowcache`), precompiled
-match structures (:class:`repro.sim.match.CompiledTable`), and the perf
-counters (:mod:`repro.sim.perf`) that make trace replay cheap enough to
-run inside every optimization phase.
+match structures (:class:`repro.sim.match.CompiledTable`), the
+exec-compiled whole-pipeline fast path (:mod:`repro.sim.fastpath`,
+opt-in via ``$P2GO_FASTPATH``), and the perf counters
+(:mod:`repro.sim.perf`) that make trace replay cheap enough to run
+inside every optimization phase.  See ``ARCHITECTURE.md`` for how the
+layers stack.
 """
 
 from repro.sim.events import ControllerPacket, ExecutionStep
+from repro.sim.fastpath import (
+    FASTPATH_ENV,
+    FastPathEngine,
+    build_engine,
+    can_specialize,
+    compile_key_of,
+    resolve_fastpath,
+    shard_trace_by_flow,
+)
 from repro.sim.flowcache import (
     FlowAnalysis,
     FlowCache,
@@ -28,6 +40,8 @@ __all__ = [
     "CompiledTable",
     "ControllerPacket",
     "ExecutionStep",
+    "FASTPATH_ENV",
+    "FastPathEngine",
     "FlowAnalysis",
     "FlowCache",
     "FlowVerdict",
@@ -38,8 +52,13 @@ __all__ = [
     "SwitchState",
     "TableEntry",
     "analyze_program",
+    "build_engine",
+    "can_specialize",
+    "compile_key_of",
     "compile_table",
     "compute_hash",
     "deparse_packet",
     "parse_packet",
+    "resolve_fastpath",
+    "shard_trace_by_flow",
 ]

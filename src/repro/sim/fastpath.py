@@ -1,0 +1,1085 @@
+"""Exec-compiled whole-pipeline fast path (PGO applied to our own simulator).
+
+The profiling engine's remaining per-packet cost is interpretation
+overhead: walking the parse plan, building span/valid structures, looping
+over verdict deltas, and re-assembling output bytes chunk by chunk.  This
+module removes that overhead the same way the header codecs did — by
+generating straight-line Python per *program* and per *flow* and letting
+``exec`` compile it once:
+
+* :class:`FastPathEngine` compiles the program's parse graph into one
+  **dispatch function**: a nested ``if``/``elif`` decision tree whose
+  branches are ordered hottest-first from a trace-prefix counting pass
+  (the classic two-pass *instrument → collect → specialize* PGO loop,
+  BOLT-style, applied to our own interpreter).  Each root-to-accept parse
+  path becomes a *leaf* with compile-time-constant header offsets, codec
+  calls, valid set, and flow-key expression.
+* Every leaf owns a closure cache mapping ``(port, key-field values)`` to
+  a **compiled replay closure**: one generated function that fuses
+  parse → table-walk verdict → action delta → deparse for one flow.  The
+  closure is compiled from the flow cache's :class:`FlowVerdict`, so all
+  writes, validity changes, steps, and forwarding scalars are baked in as
+  constants; untouched header bytes are emitted as input slices (folded
+  to ``out = data`` when nothing packet-visible changes).
+* A **columnar batch path** (:meth:`FastPathEngine.process_batch`) sweeps
+  a whole trace through the dispatch in struct-of-arrays form: hits are
+  resolved in the sweep, misses are deferred into parallel index/data
+  columns, executed in original relative order through the interpreter
+  (which preserves register-state semantics), retried against closures
+  installed mid-batch, and merged back by index — with the controller
+  queue re-sorted so the observable stream is bit-identical to scalar
+  processing.
+
+The specialization contract (DESIGN.md §12):
+
+* **Oracle.** The uncached reference interpreter remains the oracle;
+  every compiled replay must be bit-identical to it — same
+  ``SwitchResult`` streams, same controller queue, same exceptions on
+  malformed packets (short packets and select-before-extract paths fall
+  back to the interpreter, which raises exactly as before).  One
+  deliberate relaxation: results are *value*-identical, not
+  *object*-identical — hit results of the same flow share their
+  (post-write) header dicts, valid set, and steps list, so results must
+  be treated as read-only (everything in this repo already does).
+* **What may be fused.** Only verdicts the flow cache itself proved
+  stateless: a closure is a compiled flow-cache entry, sound for exactly
+  the reason the cache is (a stateless traversal is a pure function of
+  the flow key).  Keys whose traversals touch registers never acquire
+  verdicts, hence never acquire closures, and always re-execute in
+  order.
+* **Bail-outs.** Programs without a parser, with more root-to-accept
+  parse paths than :data:`MAX_PARSE_PATHS`, or running with the flow
+  cache disabled are never specialized — the switch silently falls back
+  to the PR-2 cached engine and records the reason on
+  ``BehavioralSwitch.fastpath_reason``.  Per-verdict, a header added
+  without any logged writes is uncompilable and is simply left to the
+  cached replay path.
+* **Invalidation.** Closures bake in entry action data, so they are
+  keyed to the config-mutation stamp: any ``add_entry``/``set_default``
+  (or an explicit ``invalidate_caches()``) drops every closure before
+  the next packet.  Closure count is bounded by the flow-cache capacity;
+  beyond the bound, cold flows keep flow-cache replay speed instead.
+
+Layer (b), sharded profiling, also lives here: :func:`compile_key_of`
+generates a raw-bytes flow-key extractor (no header dicts — just slices,
+shifts and masks), and :func:`shard_trace_by_flow` uses it to split a
+trace into per-flow shards whose per-shard cache hit/miss counts sum to
+the serial run's, so ``Profiler.profile_trace(workers=N)`` can fan whole
+shards across a process pool and merge bit-identical profiles.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.p4.actions import STANDARD_METADATA
+from repro.p4.parser_spec import ACCEPT
+from repro.p4.program import Program
+from repro.p4.types import mask
+from repro.packets.packet import get_codec
+from repro.sim.events import ControllerPacket
+from repro.sim.flowcache import FlowVerdict, analyze_program
+from repro.sim.switch import SwitchResult
+
+#: Environment variable consulted when ``RuntimeConfig.enable_fastpath``
+#: is ``None`` (the default): ``1``/``on``/``true``/``yes`` enable the
+#: fast path for every switch in the process.
+FASTPATH_ENV = "P2GO_FASTPATH"
+
+#: Truthy spellings accepted for :data:`FASTPATH_ENV`.
+_TRUTHY = frozenset({"1", "on", "true", "yes"})
+
+#: Upper bound on root-to-accept parse paths the specializer will unroll
+#: into dispatch code; beyond it the program falls back to the cached
+#: engine (generated-code size grows linearly with path count).
+MAX_PARSE_PATHS = 128
+
+#: Packets of the first batch counted by the specialization pass that
+#: orders dispatch branches hottest-first.
+SPECIALIZE_PREFIX = 512
+
+#: Per-leaf bound on memoized parsed header-region prefixes (cleared
+#: wholesale when full, mirroring the flow cache's capacity rule).
+PREFIX_MEMO_LIMIT = 4096
+
+
+def resolve_fastpath(value: Optional[bool]) -> bool:
+    """Resolve the fast-path knob: explicit config wins, else
+    ``$P2GO_FASTPATH``, else off."""
+    if value is not None:
+        return bool(value)
+    return os.environ.get(FASTPATH_ENV, "").strip().lower() in _TRUTHY
+
+
+# ----------------------------------------------------------------------
+# Eligibility
+
+
+def _count_parse_paths(program: Program) -> int:
+    """Number of leaf blocks dispatch codegen would emit (each transition
+    entry and each default branch duplicates its target's subtree)."""
+    parser = program.parser
+    memo: Dict[str, int] = {}
+
+    def paths(state_name: str) -> int:
+        if state_name == ACCEPT:
+            return 1
+        cached = memo.get(state_name)
+        if cached is not None:
+            return cached
+        state = parser.states[state_name]
+        total = paths(state.default)
+        if state.select is not None:
+            for target in state.transitions.values():
+                total += paths(target)
+        memo[state_name] = total
+        return total
+
+    return paths(parser.start)
+
+
+def can_specialize(program: Program, config) -> Optional[str]:
+    """``None`` when the fast path may engage, else the bail-out reason.
+
+    The rules are deliberately static — everything dynamic (stateful
+    traversals, malformed packets, uncompilable verdicts) is handled
+    per packet by falling through to the interpreter.
+    """
+    if program.parser is None:
+        return "program has no parser"
+    if not config.enable_flow_cache:
+        return "flow cache disabled (closures compile from flow verdicts)"
+    paths = _count_parse_paths(program)
+    if paths > MAX_PARSE_PATHS:
+        return (
+            f"parse graph unrolls to {paths} paths "
+            f"(max {MAX_PARSE_PATHS})"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Dispatch codegen
+
+
+class _Leaf:
+    """One root-to-accept parse path: compile-time facts plus the closure
+    cache for flows that terminate here."""
+
+    __slots__ = ("leaf_id", "extracted", "payload_offset", "valid", "cache")
+
+    def __init__(
+        self,
+        leaf_id: int,
+        extracted: Dict[str, Tuple[str, int, int]],
+        payload_offset: int,
+        valid: frozenset,
+    ):
+        self.leaf_id = leaf_id
+        #: header name -> (param var, start byte, end byte), last
+        #: extraction wins (mirroring the interpreter's overwrite).
+        self.extracted = extracted
+        self.payload_offset = payload_offset
+        #: packet-header valid set at this leaf (extracted + auto-valid) —
+        #: the frozenset component of the full :data:`FlowKey`.
+        self.valid = valid
+        self.cache: Dict[tuple, Callable] = {}
+
+
+def _raw_field_expr(
+    codec, start: int, end: int, field_name: str
+) -> str:
+    """One header field read straight off the packet bytes — the
+    narrowest byte slice covering the field, shifted/masked only when
+    the field is not byte-aligned.  A single aligned byte degenerates
+    to an index expression (no ``int.from_bytes`` at all)."""
+    for fname, shift, fmask in codec._unpack_spec:
+        if fname == field_name:
+            total_bits = (end - start) * 8
+            width = fmask.bit_length()
+            hi = shift + width - 1  # field MSBit, counted from the LSB
+            byte_lo = (total_bits - 1 - hi) // 8
+            byte_hi = (total_bits - 1 - shift) // 8
+            new_shift = shift - (total_bits - (byte_hi + 1) * 8)
+            nbytes = byte_hi - byte_lo + 1
+            if nbytes == 1:
+                base = f"data[{start + byte_lo}]"
+            else:
+                base = (
+                    f"_ib(data[{start + byte_lo}:{start + byte_hi + 1}],"
+                    f" 'big')"
+                )
+            if new_shift:
+                base = f"({base} >> {new_shift})"
+            if new_shift + width < nbytes * 8:
+                return f"{base} & {fmask}"
+            return base
+    raise KeyError(f"{codec.name}.{field_name} not in codec spec")
+
+
+class _DispatchBuilder:
+    """Walks the parse graph emitting the dispatch function's source.
+
+    The generated hot path never builds header dicts while navigating:
+    parser selects read raw byte slices, and the leaf materializes all
+    of its headers at once — through a per-leaf memo keyed on the
+    header-region bytes, so flow-repetitive traffic pays two dict copies
+    instead of full bit-level unpacks.  Copies keep the memoized dicts
+    pristine (replay closures mutate their parameters in place).
+    """
+
+    def __init__(self, switch, branch_counts: Optional[Dict] = None):
+        self.switch = switch
+        self.program = switch.program
+        self.analysis = switch._analysis
+        self.counts = branch_counts or {}
+        self.auto_valid_names = tuple(name for name, _ in switch._auto_valid)
+        self.lines: List[str] = []
+        self.ns: Dict[str, object] = {
+            "_d": dict,
+            "_ln": len,
+        }
+        self.leaves: List[_Leaf] = []
+        self._var = 0
+        self._codec_names: Dict[int, str] = {}
+
+    def build(self) -> Tuple[Callable, Callable, List[_Leaf]]:
+        parser = self.program.parser
+        self.lines.append(
+            "def dispatch(data, port, idx, _len=len, _ib=int.from_bytes):"
+        )
+        self.lines.append("    L = _len(data)")
+        self._walk(parser.start, 0, {}, [], "    ")
+        src = "\n".join(self.lines) + "\n\n" + self._sweep_source()
+        self.ns["_CP"] = ControllerPacket
+        exec(src, self.ns)  # noqa: S102 — generated from a validated parser
+        dispatch = self.ns["dispatch"]
+        dispatch._p2go_source = src
+        return dispatch, self.ns["sweep"], self.leaves
+
+    def _sweep_source(self) -> str:
+        """The columnar batch loop: the dispatch body inlined into a
+        trace sweep, so hits pay no per-packet call/return/type-check.
+
+        Derived textually from the already-emitted dispatch body by
+        rewriting its three return shapes: bail-outs and misses append
+        to the struct-of-arrays miss columns, hits append the result
+        (plus the controller enqueue the scalar wrapper would do)."""
+        out = [
+            "def sweep(packets, idx_base, default_port, _eq,",
+            "          _len=len, _ib=int.from_bytes, _isin=isinstance,",
+            "          _tpl=tuple):",
+            "    _rs = []",
+            "    ra = _rs.append",
+            "    _mi0 = []",
+            "    _md0 = []",
+            "    _mp0 = []",
+            "    _mi = _mi0.append",
+            "    _md = _md0.append",
+            "    _mp = _mp0.append",
+            "    idx = idx_base - 1",
+            "    for entry in packets:",
+            "        idx += 1",
+            "        if _isin(entry, _tpl):",
+            "            data, port = entry",
+            "        else:",
+            "            data = entry; port = default_port",
+            "        L = _len(data)",
+        ]
+        for line in self.lines[2:]:
+            stripped = line.lstrip()
+            pad = "    " + line[: len(line) - len(stripped)]
+            if stripped == "return None" or stripped.startswith("return (_L"):
+                out.append(
+                    f"{pad}ra(None); _mi(idx); _md(data); _mp(port); continue"
+                )
+            elif stripped.startswith("return f("):
+                out.append(f"{pad}r = {stripped[len('return '):]}")
+                out.append(f"{pad}ra(r)")
+                out.append(f"{pad}if r.to_controller:")
+                out.append(
+                    f"{pad}    _eq(_CP(index=idx, "
+                    "reason=r.controller_reason, data=r.output_bytes))"
+                )
+                out.append(f"{pad}continue")
+            else:
+                out.append("    " + line)
+        out.append("    return _rs, _mi0, _md0, _mp0")
+        return "\n".join(out)
+
+    # ------------------------------------------------------------------
+    def _codec_name(self, codec) -> str:
+        name = self._codec_names.get(id(codec))
+        if name is None:
+            name = f"_u{len(self._codec_names)}"
+            self._codec_names[id(codec)] = name
+            self.ns[name] = codec.unpack_at
+        return name
+
+    def _walk(
+        self,
+        state_name: str,
+        offset: int,
+        env: Dict[str, Tuple[object, int, int]],
+        order: List[str],
+        indent: str,
+    ) -> None:
+        if state_name == ACCEPT:
+            self._emit_leaf(offset, env, order, indent)
+            return
+        extracts, select, transitions, default = (
+            self.switch._parse_states[state_name]
+        )
+        if extracts:
+            end = offset + sum(bw for _h, _c, bw in extracts)
+            self.lines.append(f"{indent}if L < {end}:")
+            self.lines.append(f"{indent}    return None")
+            env = dict(env)
+            order = list(order)
+            for header, codec, byte_width in extracts:
+                env[header] = (codec, offset, offset + byte_width)
+                if header in order:
+                    order.remove(header)
+                order.append(header)
+                offset += byte_width
+        if select is None:
+            self._walk(default, offset, env, order, indent)
+            return
+        if select.header not in env:
+            # The interpreter raises select-before-extract; bail so the
+            # miss path reproduces the exact exception.
+            self.lines.append(f"{indent}return None")
+            return
+        if not transitions:
+            self._walk(default, offset, env, order, indent)
+            return
+        codec, start, end = env[select.header]
+        var = f"s{self._var}"
+        self._var += 1
+        self.lines.append(
+            f"{indent}{var} = "
+            f"{_raw_field_expr(codec, start, end, select.field)}"
+        )
+        # Two-pass PGO: branches ordered by observed frequency on the
+        # counting prefix (stable on the declared order for ties).
+        ordered = sorted(
+            transitions.items(),
+            key=lambda item: -self.counts.get((state_name, item[0]), 0),
+        )
+        for i, (value, target) in enumerate(ordered):
+            word = "if" if i == 0 else "elif"
+            self.lines.append(f"{indent}{word} {var} == {value}:")
+            self._walk(
+                target, offset, dict(env), list(order), indent + "    "
+            )
+        self.lines.append(f"{indent}else:")
+        self._walk(default, offset, dict(env), list(order), indent + "    ")
+
+    def _emit_leaf(
+        self,
+        offset: int,
+        env: Dict[str, Tuple[object, int, int]],
+        order: List[str],
+        indent: str,
+    ) -> None:
+        valid = frozenset(set(env) | {
+            name for name in self.auto_valid_names if name not in env
+        })
+        extracted = {
+            h: (f"v{i}",) + env[h][1:] for i, h in enumerate(sorted(env))
+        }
+        leaf = _Leaf(
+            len(self.leaves),
+            {h: (var, start, end) for h, (var, start, end)
+             in extracted.items()},
+            offset,
+            valid,
+        )
+        self.leaves.append(leaf)
+        getter = f"_g{leaf.leaf_id}"
+        token = f"_L{leaf.leaf_id}"
+        self.ns[getter] = leaf.cache.get
+        self.ns[token] = leaf
+        emit = self.lines.append
+        elems = []
+        for header, field_name in self.analysis.key_fields:
+            bound = extracted.get(header)
+            if bound is None:
+                # Not extracted here: auto-valid headers are zero-filled
+                # and invalid headers read as 0 — both contribute 0.
+                elems.append("0")
+            else:
+                elems.append(f"{bound[0]}[{field_name!r}]")
+        comma = "," if len(elems) == 1 else ""
+        fields_expr = f"({', '.join(elems)}{comma})"
+        if env:
+            # Materialize this leaf's header dicts through the prefix
+            # memo: same header-region bytes → same pristine dicts and
+            # same flow-key field tuple (all pure functions of those
+            # bytes).  The memo tuple is handed to closures untouched —
+            # nothing downstream mutates it (closures copy-on-write).
+            memo: Dict[bytes, tuple] = {}
+            memo_name = f"_m{leaf.leaf_id}"
+            memo_get = f"_mg{leaf.leaf_id}"
+            self.ns[memo_name] = memo
+            self.ns[memo_get] = memo.get
+            names = sorted(env)
+            vars_ = [extracted[h][0] for h in names]
+            n = len(vars_)
+            emit(f"{indent}b = data[:{offset}]")
+            emit(f"{indent}c = {memo_get}(b)")
+            emit(f"{indent}if c is None:")
+            # Unpack in extraction order (a later re-extraction of the
+            # same header overwrites, mirroring the interpreter), which
+            # here reduces to unpacking each header's final occurrence.
+            for h in order:
+                codec, start, _end = env[h]
+                emit(
+                    f"{indent}    {extracted[h][0]} = "
+                    f"{self._codec_name(codec)}(data, {start})"
+                )
+            emit(f"{indent}    if _ln({memo_name}) >= {PREFIX_MEMO_LIMIT}:")
+            emit(f"{indent}        {memo_name}.clear()")
+            emit(
+                f"{indent}    c = {memo_name}[b] = ("
+                + "".join(f"{v}, " for v in vars_)
+                + f"{fields_expr})"
+            )
+            emit(f"{indent}k = (port, c[{n}])")
+            carry = ", b, c"
+        else:
+            # No headers extracted on this path: the field tuple is a
+            # compile-time constant.
+            const = f"_kf{leaf.leaf_id}"
+            self.ns[const] = tuple(
+                0 for _ in self.analysis.key_fields
+            )
+            emit(f"{indent}k = (port, {const})")
+            carry = ", b'', ()"
+        emit(f"{indent}f = {getter}(k)")
+        emit(f"{indent}if f is not None:")
+        emit(f"{indent}    return f(data, port, idx{carry})")
+        emit(f"{indent}return ({token}, k)")
+
+
+def _collect_branch_counts(
+    switch, packets: Sequence, default_port: int, limit: int
+) -> Dict[Tuple[str, int], int]:
+    """The instrument/collect half of the two-pass loop: count how often
+    each parser select value fires over a trace prefix.
+
+    Pure — no switch state, no perf counters, no flow cache: malformed
+    packets simply stop contributing (the real pass raises for them)."""
+    counts: Dict[Tuple[str, int], int] = {}
+    states = switch._parse_states
+    start = switch._parse_start
+    for entry in packets[:limit]:
+        data = entry[0] if isinstance(entry, tuple) else entry
+        length = len(data)
+        offset = 0
+        headers: Dict[str, Dict[str, int]] = {}
+        state_name = start
+        while state_name != ACCEPT:
+            extracts, select, transitions, default = states[state_name]
+            short = False
+            for header, codec, byte_width in extracts:
+                if offset + byte_width > length:
+                    short = True
+                    break
+                headers[header] = codec.unpack_at(data, offset)
+                offset += byte_width
+            if short:
+                break
+            if select is None:
+                state_name = default
+                continue
+            fields = headers.get(select.header)
+            if fields is None:
+                break
+            value = fields[select.field]
+            target = transitions.get(value)
+            if target is None:
+                state_name = default
+            else:
+                counts[(state_name, value)] = (
+                    counts.get((state_name, value), 0) + 1
+                )
+                state_name = target
+        headers.clear()
+    return counts
+
+
+# ----------------------------------------------------------------------
+# Replay-closure codegen
+
+
+class _ReplayContext:
+    """Program-level constants the closure compiler needs."""
+
+    __slots__ = (
+        "metadata_names",
+        "ingress_mask",
+        "deparse_plan",
+        "auto_fields",
+    )
+
+    def __init__(self, switch):
+        self.metadata_names = switch._metadata_names
+        self.ingress_mask = switch._ingress_mask
+        self.deparse_plan = switch._deparse_plan
+        self.auto_fields = {
+            name: fields for name, fields in switch._auto_valid
+        }
+
+
+def _dict_literal(d: Dict[str, int]) -> str:
+    return "{" + ", ".join(f"{k!r}: {v}" for k, v in d.items()) + "}"
+
+
+def _compile_replay(
+    leaf: _Leaf, verdict: FlowVerdict, ctx: _ReplayContext
+) -> Optional[Callable]:
+    """Fuse one (parse leaf, flow verdict) pair into a generated closure.
+
+    Returns ``None`` for the one delta shape replay can serialize but we
+    cannot prove complete (a header added with no logged writes) — such
+    keys keep flow-cache replay speed instead.
+    """
+    writes_by: Dict[str, List[Tuple[str, int]]] = {}
+    for header, field_name, value in verdict.writes:
+        writes_by.setdefault(header, []).append((field_name, value))
+    removed = set(verdict.removed)
+    added = set(verdict.added)
+
+    params = sorted(leaf.extracted)
+    cidx = {h: i for i, h in enumerate(params)}
+    pvar = {h: f"p{i}" for i, h in enumerate(params)}
+    # The closure receives the leaf's pristine parse memo entry ``c``
+    # (never mutated) plus its key bytes ``b``, and memoizes the
+    # assembled post-write object graph per ``b``: headers, any dirty
+    # re-packs.  Hits of the same flow with the same header-region
+    # bytes share those objects (value-identical to the interpreter;
+    # results are read-only by contract).
+    lines = [
+        "def replay(data, port, idx, b, c):",
+        "    t = _fg(b)",
+        "    if t is None:",
+    ]
+    build: List[str] = []  # t-construction body, emitted at indent 8
+
+    #: header name -> expression for the final headers dict
+    entries: List[Tuple[str, str]] = []
+    #: headers whose final dict is fully known at compile time
+    const_dicts: Dict[str, Dict[str, int]] = {}
+
+    for h in params:
+        if h in removed:
+            if h in writes_by:
+                d = dict(writes_by[h])
+                entries.append((h, _dict_literal(d)))
+                const_dicts[h] = d
+            continue
+        if writes_by.get(h):
+            build.append(f"{pvar[h]} = _d(c[{cidx[h]}])")
+            for field_name, value in writes_by[h]:
+                build.append(f"{pvar[h]}[{field_name!r}] = {value}")
+            entries.append((h, pvar[h]))
+        else:
+            # Untouched: the pristine memo dict is shared as-is.
+            entries.append((h, f"c[{cidx[h]}]"))
+
+    for h in sorted(leaf.valid - set(params)):  # auto-valid, not extracted
+        if h in removed:
+            if h in writes_by:
+                d = dict(writes_by[h])
+                entries.append((h, _dict_literal(d)))
+                const_dicts[h] = d
+            continue
+        d = dict.fromkeys(ctx.auto_fields[h], 0)
+        d.update(writes_by.get(h, ()))
+        entries.append((h, _dict_literal(d)))
+        const_dicts[h] = d
+
+    for h in sorted(added):
+        writes = writes_by.get(h)
+        if not writes:
+            return None
+        d = dict(writes)
+        entries.append((h, _dict_literal(d)))
+        const_dicts[h] = d
+
+    # Writes to headers that are invalid in this leaf (never extracted,
+    # not auto-valid, not added by the verdict): the interpreter still
+    # materializes their field dicts in the PHV, so they must appear on
+    # ``result.headers`` — but the header stays invalid and is never
+    # deparsed.
+    covered = set(params) | leaf.valid | added | set(ctx.metadata_names)
+    for h in sorted(set(writes_by) - covered):
+        d = dict(writes_by[h])
+        entries.append((h, _dict_literal(d)))
+        const_dicts[h] = d
+
+    for m in ctx.metadata_names:
+        if m in removed:
+            if m in writes_by:
+                entries.append((m, _dict_literal(dict(writes_by[m]))))
+            continue
+        if m == STANDARD_METADATA:
+            inner = [f"'ingress_port': port & {ctx.ingress_mask}"]
+            inner.extend(
+                f"{f!r}: {v}" for f, v in writes_by.get(m, ())
+            )
+            entries.append((m, "{" + ", ".join(inner) + "}"))
+        else:
+            entries.append((m, _dict_literal(dict(writes_by.get(m, ())))))
+
+    valid_const = frozenset(
+        (set(leaf.valid) | set(ctx.metadata_names) | added) - removed
+    )
+
+    # One shared valid set and steps list per closure (constant across
+    # the flow); one shared headers graph per (closure, header-region
+    # bytes).  Value-identical to the interpreter's per-packet copies.
+    per_b = {h: expr for h, expr in entries}
+    fc: Dict[bytes, tuple] = {}
+    ns: Dict[str, object] = {
+        "_R": SwitchResult,
+        "_VS": set(valid_const),
+        "_SL": list(verdict.steps),
+        "_o": object.__new__,
+        "_d": dict,
+        "_ln": len,
+        "_fc": fc,
+        "_fg": fc.get,
+    }
+
+    # Output bytes: declaration-order chunks — input slices for clean
+    # extracted headers, compile-time constants for fully known dicts,
+    # per-``b`` re-packs (memoized in ``t``) for dirty headers.
+    parts: List[tuple] = []
+    for name, codec in ctx.deparse_plan:
+        if name not in valid_const:
+            continue
+        span = leaf.extracted.get(name)
+        if span is not None and name not in verdict.dirty and codec.pad == 0:
+            parts.append(("slice", span[1], span[2]))
+        elif name in const_dicts:
+            parts.append(("const", codec.pack_trusted(const_dicts[name])))
+        else:
+            pack = f"_pk{len(ns)}"
+            ns[pack] = codec.pack_trusted
+            parts.append(("pack", f"{pack}({per_b[name]})"))
+    parts.append(("slice", leaf.payload_offset, None))
+
+    merged: List[tuple] = []
+    for part in parts:
+        if merged:
+            prev = merged[-1]
+            if (
+                prev[0] == "slice"
+                and part[0] == "slice"
+                and prev[2] == part[1]
+            ):
+                merged[-1] = ("slice", prev[1], part[2])
+                continue
+            if prev[0] == "const" and part[0] == "const":
+                merged[-1] = ("const", prev[1] + part[1])
+                continue
+        merged.append(part)
+
+    headers_expr = (
+        "{" + ", ".join(f"{h!r}: {expr}" for h, expr in entries) + "}"
+    )
+    t_elems = [headers_expr]
+    rendered = []
+    for part in merged:
+        if part[0] == "slice":
+            stop = "" if part[2] is None else part[2]
+            rendered.append(f"data[{part[1]}:{stop}]")
+        elif part[0] == "const":
+            rendered.append(repr(part[1]))
+        else:
+            rendered.append(f"t[{len(t_elems)}]")
+            t_elems.append(part[1])
+    if merged == [("slice", 0, None)]:
+        out_expr = "data"  # nothing packet-visible changed
+    else:
+        out_expr = " + ".join(rendered)
+
+    lines.extend("        " + stmt for stmt in build)
+    lines.append(f"        if _ln(_fc) >= {PREFIX_MEMO_LIMIT}:")
+    lines.append("            _fc.clear()")
+    comma = "," if len(t_elems) == 1 else ""
+    lines.append(
+        f"        t = _fc[b] = ({', '.join(t_elems)}{comma})"
+    )
+    # Construct the result without the dataclass __init__ frame: a bare
+    # instance plus one dict display is measurably cheaper and fully
+    # equivalent for a plain (non-slots, no __post_init__) dataclass.
+    lines.append("    r = _o(_R)")
+    lines.append(
+        "    r.__dict__ = {"
+        f"'index': idx, 'input_bytes': data, 'output_bytes': {out_expr}, "
+        "'headers': t[0], 'valid': _VS, 'steps': _SL, "
+        f"'egress_port': {verdict.egress_port}, "
+        f"'dropped': {verdict.dropped}, "
+        f"'to_controller': {verdict.to_controller}, "
+        f"'controller_reason': {verdict.controller_reason}}}"
+    )
+    lines.append("    return r")
+    src = "\n".join(lines)
+    exec(src, ns)  # noqa: S102 — generated from a validated verdict
+    replay = ns["replay"]
+    replay._p2go_source = src
+    return replay
+
+
+# ----------------------------------------------------------------------
+# The engine
+
+
+class FastPathEngine:
+    """Drives a :class:`BehavioralSwitch` through generated code.
+
+    Construct via :func:`build_engine` (which applies the eligibility
+    rules); the switch owns the engine and routes ``process`` /
+    ``process_many`` through it when ``RuntimeConfig.enable_fastpath``
+    (or ``$P2GO_FASTPATH``) asks for it.
+    """
+
+    def __init__(self, switch):
+        self.switch = switch
+        self._ctx = _ReplayContext(switch)
+        self._dispatch: Optional[Callable] = None
+        self._sweep: Optional[Callable] = None
+        self._leaves: List[_Leaf] = []
+        self._mutations = switch.config.mutations
+        self._installed = 0
+        self._closure_budget = switch.config.flow_cache_capacity
+        self.branch_counts: Optional[Dict[Tuple[str, int], int]] = None
+        self.specialized = False
+        self.specialize_seconds = 0.0
+        #: Verdicts skipped as uncompilable (kept on flow-cache replay).
+        self.uncompilable = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def ensure_ready(
+        self, sample: Optional[Sequence] = None, default_port: int = 0
+    ) -> None:
+        """Compile the dispatch tree if needed, counting branch heat over
+        ``sample``'s prefix first (pass one of the two-pass loop)."""
+        if self._dispatch is not None:
+            return
+        started = perf_counter()
+        if sample:
+            self.branch_counts = _collect_branch_counts(
+                self.switch, sample, default_port, SPECIALIZE_PREFIX
+            )
+            self.specialized = True
+        builder = _DispatchBuilder(self.switch, self.branch_counts)
+        self._dispatch, self._sweep, self._leaves = builder.build()
+        self._warm_tables()
+        self.specialize_seconds += perf_counter() - started
+
+    def specialize(self, prefix: Sequence, default_port: int = 0) -> None:
+        """Explicit two-pass entry point: drop any existing dispatch and
+        regenerate it with branches ordered by ``prefix``'s heat.
+
+        Side-effect free on switch state — the counting pass never
+        executes tables or touches registers, so it is safe mid-run even
+        for stateful programs.  Installed closures are dropped (they hang
+        off the old dispatch's leaves)."""
+        self._dispatch = None
+        self._sweep = None
+        self._leaves = []
+        self._installed = 0
+        self.branch_counts = None
+        self.ensure_ready(prefix, default_port)
+
+    def _warm_tables(self) -> None:
+        """Precompile match structures hottest-first (the PerfCounters
+        half of the PGO input — lookup counts from any prior run)."""
+        switch = self.switch
+        if not switch.config.enable_compiled_tables:
+            return
+        lookups = switch.perf.table_lookups
+        for name in sorted(
+            switch.program.tables, key=lambda t: (-lookups.get(t, 0), t)
+        ):
+            switch._compiled_table(name)
+
+    def drop_closures(self) -> None:
+        """Forget every compiled replay (config mutated); the dispatch
+        tree itself only depends on the program and survives."""
+        for leaf in self._leaves:
+            leaf.cache.clear()
+        self._installed = 0
+        self._mutations = self.switch.config.mutations
+
+    @property
+    def closures(self) -> int:
+        return self._installed
+
+    @property
+    def leaves(self) -> int:
+        return len(self._leaves)
+
+    # -- processing ----------------------------------------------------
+    def process(self, data: bytes, port: int = 0) -> SwitchResult:
+        """Scalar entry: dispatch hit, else interpreter + closure install."""
+        switch = self.switch
+        if switch.config.mutations != self._mutations:
+            switch.invalidate_caches()
+        if self._dispatch is None:
+            self.ensure_ready()
+        result = self._dispatch(data, port, switch._packet_count)
+        if result.__class__ is SwitchResult:
+            switch._packet_count += 1
+            perf = switch.perf
+            perf.packets += 1
+            perf.cache_hits += 1
+            if result.to_controller:
+                switch.controller_queue.append(
+                    ControllerPacket(
+                        index=result.index,
+                        reason=result.controller_reason,
+                        data=result.output_bytes,
+                    )
+                )
+            return result
+        interp_result = switch._process_interp(data, port)
+        if result is not None:
+            self._install(result[0], result[1])
+        return interp_result
+
+    def process_batch(
+        self, packets: Sequence, default_port: int = 0
+    ) -> List[SwitchResult]:
+        """Columnar batch: one struct-of-arrays sweep resolves every hit;
+        misses collect into parallel columns, run through the interpreter
+        in original relative order (register semantics preserved), get
+        retried against closures installed mid-batch, and merge back by
+        index.  The controller-queue tail is re-sorted by packet index so
+        the observable stream matches scalar processing exactly."""
+        switch = self.switch
+        if switch.config.mutations != self._mutations:
+            switch.invalidate_caches()
+        if self._dispatch is None:
+            self.ensure_ready(packets, default_port)
+        queue = switch.controller_queue
+        total = len(packets)
+        idx_base = switch._packet_count
+        queue_base = len(queue)
+        results, miss_index, miss_data, miss_port = self._sweep(
+            packets, idx_base, default_port, queue.append
+        )
+        hits = total - len(miss_index)
+        if miss_index:
+            dispatch = self._dispatch
+            interp = switch._process_interp
+            install = self._install
+            for j in range(len(miss_index)):
+                idx = miss_index[j]
+                data = miss_data[j]
+                port = miss_port[j]
+                # Retry: an earlier miss in this batch may have installed
+                # this flow's closure (the scalar engine would have
+                # served it from the flow cache).
+                result = dispatch(data, port, idx)
+                if result.__class__ is SwitchResult:
+                    results[idx - idx_base] = result
+                    hits += 1
+                    if result.to_controller:
+                        queue.append(
+                            ControllerPacket(
+                                index=result.index,
+                                reason=result.controller_reason,
+                                data=result.output_bytes,
+                            )
+                        )
+                    continue
+                switch._packet_count = idx
+                results[idx - idx_base] = interp(data, port)
+                if result is not None:
+                    install(result[0], result[1])
+            if len(queue) - queue_base > 1:
+                tail = queue[queue_base:]
+                tail.sort(key=lambda cp: cp.index)
+                queue[queue_base:] = tail
+        switch._packet_count = idx_base + total
+        perf = switch.perf
+        perf.packets += hits
+        perf.cache_hits += hits
+        return results
+
+    # ------------------------------------------------------------------
+    def _install(self, leaf: _Leaf, key: tuple) -> None:
+        """Compile and cache a replay closure from the flow verdict the
+        interpreter just produced (absent for stateful traversals)."""
+        if self._installed >= self._closure_budget:
+            return
+        verdict = self.switch._flow_cache.get(
+            (key[0], key[1], leaf.valid)
+        )
+        if verdict is None:
+            return
+        replay = _compile_replay(leaf, verdict, self._ctx)
+        if replay is None:
+            self.uncompilable += 1
+            return
+        leaf.cache[key] = replay
+        self._installed += 1
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "leaves": self.leaves,
+            "closures": self.closures,
+            "specialized": self.specialized,
+            "specialize_seconds": round(self.specialize_seconds, 6),
+            "uncompilable": self.uncompilable,
+        }
+
+
+def build_engine(switch) -> Tuple[Optional[FastPathEngine], Optional[str]]:
+    """``(engine, None)`` when the switch's program is specializable,
+    ``(None, reason)`` otherwise (the cached-engine fallback)."""
+    reason = can_specialize(switch.program, switch.config)
+    if reason is not None:
+        return None, reason
+    return FastPathEngine(switch), None
+
+
+# ----------------------------------------------------------------------
+# Layer (b): flow-key trace sharding for process-pool profiling
+
+
+def compile_key_of(program: Program) -> Optional[Callable]:
+    """Generate ``(data, port) -> shard key`` straight off the raw bytes.
+
+    A stripped-down sibling of the dispatch tree: it follows the parse
+    graph with ``int.from_bytes`` slices, shifts and masks — no header
+    dicts — and returns ``(leaf_id, port, *key-field values)``, i.e. the
+    full flow identity (the leaf id stands in for the valid-header
+    frozenset).  ``None`` for unparseable packets and for programs the
+    specializer refuses (:func:`can_specialize`'s parser/path rules).
+    """
+    if program.parser is None:
+        return None
+    if _count_parse_paths(program) > MAX_PARSE_PATHS:
+        return None
+    analysis = analyze_program(program)
+    parser = program.parser
+    lines = ["def key_of(data, port, _ib=int.from_bytes):"]
+    lines.append("    L = len(data)")
+    ns: Dict[str, object] = {}
+    state_leaf = [0]
+    var_count = [0]
+
+    def field_expr(
+        env: Dict[str, Tuple[int, int]], header: str, field_name: str
+    ) -> str:
+        start, end = env[header]
+        codec = get_codec(program.header_type_of(header))
+        for fname, shift, fmask in codec._unpack_spec:
+            if fname == field_name:
+                base = f"_ib(data[{start}:{end}], 'big')"
+                if shift:
+                    base = f"({base} >> {shift})"
+                return f"{base} & {fmask}"
+        raise KeyError(f"{header}.{field_name} not in codec spec")
+
+    def walk(
+        state_name: str,
+        offset: int,
+        env: Dict[str, Tuple[int, int]],
+        indent: str,
+    ) -> None:
+        if state_name == ACCEPT:
+            leaf_id = state_leaf[0]
+            state_leaf[0] += 1
+            elems = [str(leaf_id), "port"]
+            for header, field_name in analysis.key_fields:
+                if header in env:
+                    elems.append(field_expr(env, header, field_name))
+                else:
+                    elems.append("0")
+            lines.append(f"{indent}return ({', '.join(elems)})")
+            return
+        state = parser.states[state_name]
+        if state.extracts:
+            env = dict(env)
+            end = offset
+            for header in state.extracts:
+                codec = get_codec(program.header_type_of(header))
+                env[header] = (end, end + codec.byte_width)
+                end += codec.byte_width
+            lines.append(f"{indent}if L < {end}:")
+            lines.append(f"{indent}    return None")
+            offset = end
+        select = state.select
+        if select is None:
+            walk(state.default, offset, env, indent)
+            return
+        if select.header not in env:
+            lines.append(f"{indent}return None")
+            return
+        if not state.transitions:
+            walk(state.default, offset, env, indent)
+            return
+        var = f"s{var_count[0]}"
+        var_count[0] += 1
+        lines.append(
+            f"{indent}{var} = "
+            f"{field_expr(env, select.header, select.field)}"
+        )
+        for i, (value, target) in enumerate(state.transitions.items()):
+            word = "if" if i == 0 else "elif"
+            lines.append(f"{indent}{word} {var} == {value}:")
+            walk(target, offset, dict(env), indent + "    ")
+        lines.append(f"{indent}else:")
+        walk(state.default, offset, dict(env), indent + "    ")
+
+    walk(parser.start, 0, {}, "    ")
+    src = "\n".join(lines)
+    exec(src, ns)  # noqa: S102 — generated from a validated parser
+    key_of = ns["key_of"]
+    key_of._p2go_source = src
+    return key_of
+
+
+def shard_trace_by_flow(
+    program: Program,
+    packets: Sequence,
+    shards: int,
+    default_port: int = 0,
+) -> Optional[List[List[int]]]:
+    """Split a trace into ``shards`` index lists, whole flows together.
+
+    Flows are assigned round-robin in first-appearance order, which is
+    deterministic and balances shard sizes for realistic traces.  Keeping
+    a flow's packets in one shard preserves the *sum* of per-shard cache
+    miss counts: each flow still misses exactly once.  Returns ``None``
+    when no key extractor can be generated (caller falls back to serial).
+    """
+    if shards <= 0:
+        raise ValueError("shard count must be positive")
+    key_of = compile_key_of(program)
+    if key_of is None:
+        return None
+    out: List[List[int]] = [[] for _ in range(shards)]
+    assignment: Dict[object, int] = {}
+    next_shard = 0
+    for i, entry in enumerate(packets):
+        if isinstance(entry, tuple):
+            data, port = entry
+        else:
+            data, port = entry, default_port
+        key = key_of(data, port)
+        shard = assignment.get(key)
+        if shard is None:
+            shard = assignment[key] = next_shard % shards
+            next_shard += 1
+        out[shard].append(i)
+    return out

@@ -158,6 +158,16 @@ class BehavioralSwitch:
                 )
                 for name, state in program.parser.states.items()
             }
+        # The exec-compiled whole-pipeline fast path (repro.sim.fastpath)
+        # — opt-in via config.enable_fastpath / $P2GO_FASTPATH, with an
+        # automatic fallback to the cached engine for programs the
+        # specializer refuses (reason recorded on fastpath_reason).
+        self._fastpath = None
+        self.fastpath_reason: Optional[str] = "disabled"
+        from repro.sim.fastpath import build_engine, resolve_fastpath
+
+        if resolve_fastpath(self.config.enable_fastpath):
+            self._fastpath, self.fastpath_reason = build_engine(self)
         self._apply_register_inits()
 
     # ------------------------------------------------------------------
@@ -181,6 +191,12 @@ class BehavioralSwitch:
         self._flow_cache.clear()
         self.perf.reset()
         self._apply_register_inits()
+        if self._fastpath is not None:
+            # A reset is an explicit fresh-run boundary: compiled replay
+            # closures are dropped with the verdicts they came from (the
+            # dispatch tree and parse memos are pure parse data and
+            # survive).
+            self._fastpath.drop_closures()
 
     def invalidate_caches(self) -> None:
         """Drop the flow cache and compiled tables (after config edits).
@@ -192,6 +208,8 @@ class BehavioralSwitch:
         self._flow_cache.clear()
         self._compiled_tables.clear()
         self._config_mutations = self.config.mutations
+        if self._fastpath is not None:
+            self._fastpath.drop_closures()
 
     def warm_caches(self) -> None:
         """Precompile every table's match structure up front (batch runs)."""
@@ -202,7 +220,21 @@ class BehavioralSwitch:
 
     # ------------------------------------------------------------------
     def process(self, data: bytes, ingress_port: int = 0) -> SwitchResult:
-        """Push one packet through parse → ingress → deparse."""
+        """Push one packet through parse → ingress → deparse.
+
+        Routed through the fast path when it is enabled and the program
+        is specializable; otherwise (and for every fast-path miss) the
+        cached interpreter below runs.
+        """
+        engine = self._fastpath
+        if engine is not None:
+            return engine.process(data, ingress_port)
+        return self._process_interp(data, ingress_port)
+
+    def _process_interp(
+        self, data: bytes, ingress_port: int = 0
+    ) -> SwitchResult:
+        """The PR-2 cached engine: flow-cache replay or full execution."""
         if self._config_mutations != self.config.mutations:
             self.invalidate_caches()
         self.perf.packets += 1
@@ -229,16 +261,20 @@ class BehavioralSwitch:
         :meth:`process` calls; only the per-run setup (match-structure
         compilation) and the wall-clock accounting differ.
         """
-        self.warm_caches()
-        process = self.process
-        results: List[SwitchResult] = []
+        engine = self._fastpath
         started = perf_counter()
-        for entry in packets:
-            if isinstance(entry, tuple):
-                data, port = entry
-            else:
-                data, port = entry, ingress_port
-            results.append(process(data, port))
+        if engine is not None:
+            results = engine.process_batch(packets, ingress_port)
+        else:
+            self.warm_caches()
+            process = self._process_interp
+            results = []
+            for entry in packets:
+                if isinstance(entry, tuple):
+                    data, port = entry
+                else:
+                    data, port = entry, ingress_port
+                results.append(process(data, port))
         self.perf.elapsed_seconds += perf_counter() - started
         self.perf.timed_packets += len(results)
         return results

@@ -1,0 +1,470 @@
+"""The exec-compiled whole-pipeline fast path (repro/sim/fastpath.py).
+
+Pins the specializer's contract (DESIGN.md §12):
+
+* For every bundled program — stateless, stateful, and controller-heavy
+  alike — the fast path's per-packet :class:`SwitchResult` stream and
+  controller queue are bit-identical to the uncached reference
+  interpreter's (the relaxation being *value* identity: hit results of
+  one flow share their header dicts).
+* The columnar batch sweep (``process_many``) matches scalar
+  ``process`` calls packet for packet.
+* Closure lifecycle: stateful flows never get closures; closures
+  survive conservative register flushes but are dropped by
+  ``reset_state`` and by config mutations; the install budget honours
+  ``flow_cache_capacity``.
+* Knob resolution (``enable_fastpath`` / ``$P2GO_FASTPATH``),
+  :func:`can_specialize` refusals and the cached-engine fallback.
+* Flow-sharded profiling (``Profiler.profile_trace(workers=N)``) and
+  the ``P2GO(fastpath=)`` knob change speed only, never results.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.pipeline import P2GO
+from repro.core.profiler import Profiler
+from repro.core.report import render_report
+from repro.p4.dsl import print_program
+from repro.programs import (
+    cgnat,
+    ddos_mitigation,
+    enterprise,
+    example_firewall,
+    failure_detection,
+    load_balancer,
+    nat_gre,
+    sourceguard,
+    telemetry,
+)
+from repro.sim import BehavioralSwitch
+from repro.sim.fastpath import (
+    FASTPATH_ENV,
+    can_specialize,
+    compile_key_of,
+    resolve_fastpath,
+    shard_trace_by_flow,
+)
+from repro.traffic.generators import dns_stream, udp_background
+
+PROGRAM_MODULES = {
+    "cgnat": cgnat,
+    "ddos_mitigation": ddos_mitigation,
+    "enterprise": enterprise,
+    "example_firewall": example_firewall,
+    "failure_detection": failure_detection,
+    "load_balancer": load_balancer,
+    "nat_gre": nat_gre,
+    "sourceguard": sourceguard,
+    "telemetry": telemetry,
+}
+
+
+def _fresh_config(module, program):
+    try:
+        return module.runtime_config(program)
+    except TypeError:
+        return module.runtime_config()
+
+
+def _config(module, program, fastpath):
+    config = _fresh_config(module, program)
+    config.enable_fastpath = fastpath
+    return config
+
+
+def _reference_config(module, program):
+    config = _fresh_config(module, program)
+    config.enable_flow_cache = False
+    config.enable_compiled_tables = False
+    config.enable_fastpath = False
+    return config
+
+
+def _fingerprint(result):
+    return (
+        result.output_bytes,
+        result.headers,
+        sorted(result.valid),
+        result.steps,
+        result.forwarding_decision(),
+        result.controller_reason,
+    )
+
+
+def _firewall_switch(**overrides):
+    program = example_firewall.build_program()
+    config = example_firewall.runtime_config()
+    config.enable_fastpath = True
+    for name, value in overrides.items():
+        setattr(config, name, value)
+    return BehavioralSwitch(program, config), config
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: fast path vs the uncached reference interpreter.
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAM_MODULES))
+def test_fastpath_bit_identical_to_reference(name):
+    module = PROGRAM_MODULES[name]
+    program = module.build_program()
+    trace = module.make_trace(800)
+
+    fast = BehavioralSwitch(program, _config(module, program, True))
+    reference = BehavioralSwitch(
+        program, _reference_config(module, program)
+    )
+    fast_results = fast.process_many(trace)
+    reference_results = reference.process_many(trace)
+
+    assert fast._fastpath is not None, fast.fastpath_reason
+    assert len(fast_results) == len(reference_results)
+    for got, want in zip(fast_results, reference_results):
+        assert _fingerprint(got) == _fingerprint(want)
+    assert fast.controller_queue == reference.controller_queue
+
+
+def test_columnar_batch_matches_scalar_processing():
+    program = example_firewall.build_program()
+    trace = example_firewall.make_trace(600)
+
+    batched, _ = _firewall_switch()
+    scalar, _ = _firewall_switch()
+    batch_results = batched.process_many(trace)
+    scalar_results = [
+        scalar.process(*(p if isinstance(p, tuple) else (p,)))
+        for p in trace
+    ]
+
+    for got, want in zip(batch_results, scalar_results):
+        assert _fingerprint(got) == _fingerprint(want)
+    assert batched.controller_queue == scalar.controller_queue
+
+
+def test_writes_to_unextracted_headers_survive_closure_replay():
+    """Fuzz find (seed 29): an action writing a field of a header that
+    is *invalid* on the taken parse path must still materialize that
+    header's field dict on ``result.headers`` (the interpreter creates
+    it in the PHV; the header stays invalid and is never deparsed).
+    The compiled closure used to drop such writes entirely."""
+    from repro.p4 import (
+        Apply,
+        FieldRef,
+        ModifyField,
+        ParamRef,
+        ProgramBuilder,
+        Seq,
+    )
+    from repro.sim.runtime import RuntimeConfig
+
+    b = ProgramBuilder("ghost_write")
+    b.header_type("h0_t", [("nxt", 8), ("f0", 32)])
+    b.header("h0", "h0_t")
+    b.header_type("h2_t", [("f0", 16)])
+    b.header("h2", "h2_t")
+    b.parser_state(
+        "start", extracts=["h0"], select="h0.nxt",
+        transitions={20: "parse_h2"},
+    )
+    b.parser_state("parse_h2", extracts=["h2"])
+    b.parser_start("start")
+    b.action(
+        "ghost",
+        [ModifyField(FieldRef("h2", "f0"), ParamRef("value"))],
+        parameters=["value"],
+    )
+    b.table(
+        "t0",
+        keys=[(FieldRef("h0", "f0"), "exact")],
+        actions=["ghost"],
+        default_action="ghost",
+        default_action_args=(49,),
+        size=16,
+    )
+    b.ingress(Seq([Apply("t0")]))
+    program = b.build()
+
+    # Two packets of one flow (same key bytes, h0.nxt != 20 so h2 is
+    # never extracted) with different payload lengths: the first misses
+    # and installs the closure, the second replays through it.
+    head = bytes([0xFF]) + (0x11223344).to_bytes(4, "big")
+    trace = [head, head + b"\xaa\xbb"]
+
+    fast_config = RuntimeConfig()
+    fast_config.enable_fastpath = True
+    reference_config = RuntimeConfig()
+    reference_config.enable_flow_cache = False
+    reference_config.enable_compiled_tables = False
+    reference_config.enable_fastpath = False
+
+    fast = BehavioralSwitch(program, fast_config)
+    reference = BehavioralSwitch(program, reference_config)
+    fast_results = fast.process_many(trace)
+    reference_results = reference.process_many(trace)
+
+    for got, want in zip(fast_results, reference_results):
+        assert _fingerprint(got) == _fingerprint(want)
+        assert got.headers["h2"] == {"f0": 49}
+        assert "h2" not in got.valid
+        # The invalid header is never deparsed: bytes pass through.
+    assert [r.output_bytes for r in fast_results] == trace
+
+
+def test_engine_specializes_and_installs_closures():
+    switch, _ = _firewall_switch()
+    switch.process_many(example_firewall.make_stateless_trace(400, flows=8))
+
+    stats = switch._fastpath.stats()
+    assert stats["specialized"] is True
+    assert stats["leaves"] > 0
+    assert stats["closures"] > 0
+    assert stats["specialize_seconds"] > 0.0
+    assert switch.perf.cache_hits > 0
+
+
+# ----------------------------------------------------------------------
+# Closure lifecycle.
+
+
+def test_stateful_flows_never_get_closures():
+    """Register-touching traversals have no flow verdict to compile, so
+    the fast path serves none of them — yet the drops stay exact."""
+    program = example_firewall.build_program()
+    src = example_firewall.HEAVY_DNS_SRC
+    dst = example_firewall.HEAVY_DNS_DST
+    trace = dns_stream(src, dst, example_firewall.DNS_QUERY_THRESHOLD + 40)
+
+    config = example_firewall.runtime_config()
+    config.enable_fastpath = True
+    switch = BehavioralSwitch(program, config)
+    results = switch.process_many(trace)
+
+    assert switch._fastpath.closures == 0
+    assert switch.perf.cache_hits == 0
+    assert not results[0].dropped
+    assert results[-1].dropped
+
+
+def test_closures_survive_conservative_register_flush():
+    """The deliberate divergence from the cached engine
+    (``test_profiling_engine.test_stateful_traversal_flushes_cached_
+    verdicts``): a closure is a pure function of the flow key on a
+    register-free traversal, so a conservative mid-run flush need not
+    drop it — the packet after the flush is still a fast-path hit."""
+    switch, _ = _firewall_switch()
+    rng = random.Random(3)
+    stateless = udp_background(1, rng, dst_ports=(4000,))[0]
+    dns = dns_stream(0x0A000001, 0xC0A80001, 1)[0]
+
+    switch.process(stateless)
+    switch.process(stateless)
+    assert switch.perf.cache_hits == 1
+
+    switch.process(dns)  # flushes the flow cache…
+    assert switch.perf.cache_invalidations == 1
+
+    switch.process(stateless)  # …but the closure still answers
+    assert switch.perf.cache_hits == 2
+    assert switch.perf.cache_misses == 2
+
+
+def test_reset_state_drops_closures():
+    switch, _ = _firewall_switch()
+    trace = example_firewall.make_stateless_trace(100, flows=8)
+    switch.process_many(trace)
+    assert switch._fastpath.closures > 0
+
+    switch.reset_state()
+    assert switch._fastpath.closures == 0
+    assert switch.perf.packets == 0
+
+    first = trace[0] if isinstance(trace[0], bytes) else trace[0][0]
+    switch.process(first)
+    assert switch.perf.cache_hits == 0
+    assert switch.perf.cache_misses == 1
+
+
+def test_config_mutation_invalidates_closures():
+    switch, config = _firewall_switch()
+    rng = random.Random(5)
+    packet = udp_background(1, rng, dst_ports=(4000,))[0]
+
+    assert not switch.process(packet).dropped
+    switch.process(packet)
+    assert switch.perf.cache_hits == 1  # served by a closure
+
+    config.add_entry("ACL_UDP", [4000], "acl_udp_drop")
+    assert switch.process(packet).dropped  # stale closure would forward
+
+
+def test_closure_budget_honours_flow_cache_capacity():
+    switch, _ = _firewall_switch(flow_cache_capacity=4)
+    switch.process_many(example_firewall.make_stateless_trace(400, flows=64))
+    assert 0 < switch._fastpath.closures <= 4
+
+
+# ----------------------------------------------------------------------
+# Knob resolution, eligibility, fallback.
+
+
+def test_resolve_fastpath_explicit_beats_environment(monkeypatch):
+    monkeypatch.setenv(FASTPATH_ENV, "on")
+    assert resolve_fastpath(False) is False
+    assert resolve_fastpath(True) is True
+    assert resolve_fastpath(None) is True
+    monkeypatch.setenv(FASTPATH_ENV, "0")
+    assert resolve_fastpath(None) is False
+    monkeypatch.delenv(FASTPATH_ENV)
+    assert resolve_fastpath(None) is False
+    for spelling in ("1", "true", "YES", " On "):
+        monkeypatch.setenv(FASTPATH_ENV, spelling)
+        assert resolve_fastpath(None) is True
+
+
+def test_can_specialize_requires_parser_and_flow_cache():
+    program = example_firewall.build_program()
+    config = example_firewall.runtime_config()
+    assert can_specialize(program, config) is None
+
+    config.enable_flow_cache = False
+    assert "flow cache" in can_specialize(program, config)
+
+    config = example_firewall.runtime_config()
+    program.parser = None
+    assert "parser" in can_specialize(program, config)
+
+
+def test_refused_program_falls_back_to_cached_engine():
+    """``enable_fastpath=True`` on an ineligible config must degrade to
+    the cached engine, not fail — with the reason recorded."""
+    switch, _ = _firewall_switch(enable_flow_cache=False)
+    assert switch._fastpath is None
+    assert "flow cache" in switch.fastpath_reason
+
+    program = example_firewall.build_program()
+    trace = example_firewall.make_stateless_trace(100, flows=4)
+    reference = BehavioralSwitch(
+        program, _reference_config(example_firewall, program)
+    )
+    for got, want in zip(
+        switch.process_many(trace), reference.process_many(trace)
+    ):
+        assert _fingerprint(got) == _fingerprint(want)
+
+
+def test_fastpath_off_by_default(monkeypatch):
+    # Must hold on the CI leg that exports $P2GO_FASTPATH=on: the test
+    # pins the *default* (no knob, no env), so clear the environment.
+    monkeypatch.delenv(FASTPATH_ENV, raising=False)
+    program = example_firewall.build_program()
+    switch = BehavioralSwitch(program, example_firewall.runtime_config())
+    assert switch._fastpath is None
+    assert switch.fastpath_reason == "disabled"
+
+
+# ----------------------------------------------------------------------
+# Flow sharding + parallel profiling.
+
+
+def test_shard_trace_by_flow_partitions_whole_flows():
+    program = nat_gre.build_program()
+    packets = nat_gre.make_trace(500)
+    shards = shard_trace_by_flow(program, packets, 4)
+
+    assert shards is not None
+    flat = sorted(i for shard in shards for i in shard)
+    assert flat == list(range(len(packets)))  # a true partition
+
+    key_of = compile_key_of(program)
+    owner = {}
+    for shard_id, indices in enumerate(shards):
+        for i in indices:
+            entry = packets[i]
+            data, port = entry if isinstance(entry, tuple) else (entry, 0)
+            key = key_of(data, port)
+            assert owner.setdefault(key, shard_id) == shard_id, (
+                "flow split across shards"
+            )
+
+
+def test_sharded_profile_identical_to_serial():
+    program = nat_gre.build_program()
+    trace = nat_gre.make_trace(600)
+    serial, _ = Profiler(program, nat_gre.runtime_config()).profile_trace(
+        trace
+    )
+    sharded, perf = Profiler(
+        program, nat_gre.runtime_config()
+    ).profile_trace(trace, workers=3)
+
+    assert serial.same_behavior_as(sharded), serial.behavior_diff(sharded)
+    assert serial.decisions == sharded.decisions
+    assert serial._hit_pairs == sharded._hit_pairs
+    assert perf.packets == len(trace)
+
+
+def test_sharded_profile_falls_back_for_stateful_programs():
+    """Registers make cross-flow order observable, so the firewall must
+    take the serial path (and still produce the serial profile)."""
+    program = example_firewall.build_program()
+    trace = example_firewall.make_trace(500)
+    serial, _ = Profiler(
+        program, example_firewall.runtime_config()
+    ).profile_trace(trace)
+    sharded, _ = Profiler(
+        program, example_firewall.runtime_config()
+    ).profile_trace(trace, workers=4)
+    assert serial.same_behavior_as(sharded)
+
+
+# ----------------------------------------------------------------------
+# Pipeline + report integration.
+
+
+def test_p2go_fastpath_knob_changes_speed_only(monkeypatch):
+    monkeypatch.delenv(FASTPATH_ENV, raising=False)
+    program = example_firewall.build_program()
+    trace = example_firewall.make_trace(400)
+
+    on = P2GO(
+        program,
+        example_firewall.runtime_config(),
+        trace,
+        example_firewall.TARGET,
+        phases=(2,),
+        fastpath=True,
+    ).run()
+    off = P2GO(
+        program,
+        example_firewall.runtime_config(),
+        trace,
+        example_firewall.TARGET,
+        phases=(2,),
+        fastpath=False,
+    ).run()
+
+    assert on.fastpath is True and on.fastpath_reason is None
+    assert off.fastpath is False and off.fastpath_reason == "disabled"
+    assert print_program(on.optimized_program) == print_program(
+        off.optimized_program
+    )
+    assert on.initial_profile.same_behavior_as(off.initial_profile)
+    assert "fast path:            engaged" in render_report(on)
+    assert "fast path:" not in render_report(off)
+
+
+def test_p2go_fastpath_defers_to_environment(monkeypatch):
+    monkeypatch.setenv(FASTPATH_ENV, "on")
+    program = example_firewall.build_program()
+    result = P2GO(
+        program,
+        example_firewall.runtime_config(),
+        example_firewall.make_trace(300),
+        example_firewall.TARGET,
+        phases=(2,),
+    ).run()
+    assert result.fastpath is True
