@@ -31,10 +31,16 @@ __version__ = "1.0.0"
 _EXPORTS = {
     "BehavioralSwitch": "repro.sim",
     "CompileResult": "repro.target",
+    "FleetResult": "repro.core",
     "OptimizationContext": "repro.core",
     "P2GO": "repro.core",
     "PassManager": "repro.core",
     "P2GOResult": "repro.core",
+    "SwitchRun": "repro.core",
+    "SwitchSpec": "repro.core",
+    "build_fabric": "repro.core",
+    "render_fleet_report": "repro.core",
+    "run_fleet": "repro.core",
     "Profile": "repro.core",
     "Profiler": "repro.core",
     "Program": "repro.p4",

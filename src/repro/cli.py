@@ -28,7 +28,15 @@ Commands:
   ``--no-store`` forces a memory-only run).
 * ``store stats|clear [--store PATH]`` — inspect or empty the
   persistent store (default root: ``$P2GO_STORE``, then
-  ``~/.cache/p2go``).
+  ``~/.cache/p2go``); ``stats`` breaks entries and bytes down per
+  kind (compile / profile) with human-readable sizes.
+* ``fleet [--size N] [--families a,b] [--seed N] [--packets N]
+  [--workers N] [--store PATH | --no-store] [--no-lease]
+  [--report FILE] [--json FILE]`` — optimize a fabric of built-in
+  program variants against one shared store (the run-orchestration
+  layer: per-switch results identical to independent ``optimize``
+  runs, cross-switch probes answered from the shared store, in-flight
+  duplicates deduped through store leases).
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
 * ``fuzz [--seed N] [--iterations N] [--time-budget S] [--axes a,b]
   [--shrink/--no-shrink] [--repro-dir DIR]`` — seeded differential
@@ -206,18 +214,24 @@ def _open_store(path: Optional[str]):
 
 
 def cmd_store_stats(args: argparse.Namespace) -> int:
+    from repro.core.store import human_bytes
+
     store = _open_store(args.store)
     stats = store.stats()
     print(f"store root:        {stats['root']}")
     print(f"schema / code:     v{stats['schema']} / {stats['code'][:12]}")
     print(
-        f"entries:           {stats['compile_entries']} compile, "
-        f"{stats['profile_entries']} profile"
+        f"compile entries:   {stats['compile_entries']} "
+        f"({human_bytes(stats['compile_bytes'])})"
+    )
+    print(
+        f"profile entries:   {stats['profile_entries']} "
+        f"({human_bytes(stats['profile_bytes'])})"
     )
     print(f"quarantined:       {stats['quarantine_entries']}")
     print(
-        f"size:              {stats['total_bytes']:,} bytes "
-        f"(cap {stats['max_bytes']:,})"
+        f"size:              {human_bytes(stats['total_bytes'])} "
+        f"of {human_bytes(stats['max_bytes'])} cap"
     )
     if store.counters.resets:
         print(
@@ -231,6 +245,60 @@ def cmd_store_clear(args: argparse.Namespace) -> int:
     store = _open_store(args.store)
     removed = store.clear()
     print(f"removed {removed} entries from {store.root}")
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.fleet import DEFAULT_FAMILIES, build_fabric, run_fleet
+    from repro.core.report import render_fleet_report
+
+    if args.families:
+        families = tuple(
+            f.strip() for f in args.families.split(",") if f.strip()
+        )
+    else:
+        families = DEFAULT_FAMILIES
+    try:
+        specs = build_fabric(
+            args.size,
+            families=families,
+            seed=args.seed,
+            packets=args.packets,
+        )
+    except ModuleNotFoundError as exc:
+        print(
+            f"error: unknown program family ({exc.name}); built-ins: "
+            + ", ".join(DEFAULT_FAMILIES),
+            file=sys.stderr,
+        )
+        return 2
+    store = False if args.no_store else args.store
+    fleet = run_fleet(
+        specs,
+        store=store,  # None defers to $P2GO_STORE
+        workers=args.workers,
+        lease_probes=not args.no_lease,
+    )
+    report = render_fleet_report(fleet)
+    print(report)
+    if args.report:
+        Path(args.report).write_text(report + "\n")
+        print(f"fleet report written to {args.report}")
+    if args.json:
+        payload = {
+            "aggregate": fleet.aggregate(),
+            "switches": [
+                {
+                    "name": switch.name,
+                    "seconds": round(switch.seconds, 3),
+                    "stages_before": switch.result.stages_before,
+                    "stages_after": switch.result.stages_after,
+                }
+                for switch in fleet.switches
+            ],
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"fleet summary written to {args.json}")
     return 0
 
 
@@ -438,6 +506,57 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="store root (default: $P2GO_STORE, then ~/.cache/p2go)",
     )
     p_clear.set_defaults(func=cmd_store_clear)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="optimize a fabric of built-in switches over one shared "
+        "store",
+    )
+    p_fleet.add_argument(
+        "--size", type=int, default=8,
+        help="number of switches in the fabric (default 8)",
+    )
+    p_fleet.add_argument(
+        "--families", default=None,
+        help="comma-separated program families the fabric cycles "
+        "through (default enterprise,nat_gre,sourceguard,cgnat)",
+    )
+    p_fleet.add_argument(
+        "--seed", type=int, default=0,
+        help="base trace seed; switch i sees traffic seeded seed+i "
+        "(default 0)",
+    )
+    p_fleet.add_argument(
+        "--packets", type=int, default=None,
+        help="per-switch trace length (default: each family's "
+        "standard trace)",
+    )
+    p_fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="coordinator process-pool size (default: $P2GO_WORKERS, "
+        "then 1; per-switch results are identical for any value)",
+    )
+    p_fleet.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="shared store root every switch reads and writes "
+        "(default: $P2GO_STORE, then no store)",
+    )
+    p_fleet.add_argument(
+        "--no-store", action="store_true",
+        help="run the fabric without a shared store (no cross-switch "
+        "reuse) even when $P2GO_STORE is set",
+    )
+    p_fleet.add_argument(
+        "--no-lease", action="store_true",
+        help="skip the store's cross-process probe leases (concurrent "
+        "switches may duplicate in-flight probes)",
+    )
+    p_fleet.add_argument("--report", help="write the fleet report here")
+    p_fleet.add_argument(
+        "--json", metavar="FILE",
+        help="write the aggregate + per-switch summary as JSON",
+    )
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_demo = sub.add_parser("demo", help="run a built-in scenario")
     p_demo.add_argument("name")

@@ -32,6 +32,13 @@ _EXPORTS = {
     "OptimizationPass": "passes",
     "P2GO": "pipeline",
     "P2GOResult": "pipeline",
+    "SwitchRun": "pipeline",
+    "FleetResult": "fleet",
+    "FleetSwitch": "fleet",
+    "SwitchSpec": "fleet",
+    "build_fabric": "fleet",
+    "run_fleet": "fleet",
+    "render_fleet_report": "report",
     "PassManager": "passes",
     "PassResult": "passes",
     "Phase": "observations",

@@ -17,6 +17,13 @@ exactly how many compiles and trace replays a run cost (and how many the
 cache absorbed).  ``tests/test_passes.py`` pins result equivalence with
 the seed ``if/elif`` orchestrator, which is kept verbatim in
 :mod:`repro.core.seed_pipeline` as the reference.
+
+The run *lifecycle* — build the passes, create or adopt a session, wire
+its trace/store, run the phases, flush and close — is its own unit:
+:class:`SwitchRun`.  :class:`P2GO` is the single-switch convenience
+wrapper on top of it; the fleet coordinator
+(:mod:`repro.core.fleet`) drives many :class:`SwitchRun`\\ s, one per
+switch of a fabric, against one shared persistent store.
 """
 
 from __future__ import annotations
@@ -40,8 +47,12 @@ from repro.core.phase_dependencies import DependencyRemovalPass
 from repro.core.phase_memory import MemoryReductionPass
 from repro.core.phase_offload import DEFAULT_MAX_REDIRECT, OffloadPass
 from repro.core.profiler import Profile
-from repro.core.session import OptimizationContext, SessionCounters
-from repro.core.store import resolve_store
+from repro.core.session import (
+    OptimizationContext,
+    SessionCounters,
+    resolve_workers,
+)
+from repro.core.store import SessionStore, resolve_store
 from repro.p4.program import Program
 from repro.sim.perf import PerfCounters
 from repro.sim.runtime import RuntimeConfig
@@ -53,6 +64,7 @@ __all__ = [
     "P2GOResult",
     "PhaseOutcome",
     "ReviewHook",
+    "SwitchRun",
     "optimize",
 ]
 
@@ -107,39 +119,25 @@ class P2GOResult:
         return [(o.phase.name.lower(), o.stages) for o in self.outcomes]
 
 
-class P2GO:
-    """Profile-guided optimizer for P4 programs.
+class SwitchRun:
+    """One switch's optimization lifecycle as a reusable unit.
 
-    Parameters mirror the knobs the paper describes: which phases run, how
-    many dependencies to remove, how many resizes to accept, the minimum
-    stage savings and controller-load ceiling for offloading, and the
-    review hook through which a programmer can veto changes.
+    This is the run lifecycle that used to be embedded in
+    ``P2GO.run()``: build the requested passes, create (or adopt and
+    re-wire) an :class:`~repro.core.session.OptimizationContext`, run
+    the phases, flush the store, close what it owns.  Extracting it
+    breaks the one-run-per-object assumption: a single process — or a
+    fleet coordinator's worker pool (:mod:`repro.core.fleet`) — can
+    hold many :class:`SwitchRun` units, execute each against its own
+    fresh session or a shared one, and point them all at one persistent
+    store.
 
-    ``session`` lets several runs (or a run plus baselines/online
-    monitoring) share one compile/profile cache; by default each run gets
-    a fresh :class:`~repro.core.session.OptimizationContext`.
-    ``memoize=False`` disables the cache (every probe recompiles and
-    re-replays — the benchmark's reference mode).  ``workers`` sets how
-    many candidates the phases probe concurrently (None defers to the
-    ``P2GO_WORKERS`` environment variable, then to 1 — the serial path;
-    the result is identical either way).
-
-    ``store`` warm-starts the run from a persistent cross-run cache
-    (:class:`~repro.core.store.SessionStore`): pass a store instance or
-    a directory path; ``None`` (the default) uses ``$P2GO_STORE`` when
-    set and no store otherwise; ``False`` disables the store even when
-    the environment variable is set.  A second run over an unchanged
-    program + config + trace is served entirely from disk — zero
-    compiles, zero replays.  When a ``session`` is injected its own
-    store (or lack of one) is respected and ``store`` is ignored.
-
-    ``fastpath`` opts the profiling replays into the exec-compiled
-    whole-pipeline fast path (:mod:`repro.sim.fastpath`): ``True``/
-    ``False`` force it, ``None`` (the default) defers to
-    ``$P2GO_FASTPATH``.  Fast-path results are bit-identical to the
-    cached engine's, so this only changes replay speed; whether it
-    engaged (and why not) rides along on ``P2GOResult.fastpath`` /
-    ``fastpath_reason``.
+    ``name`` labels the switch in fleet reports (defaults to the
+    program name).  ``lease_probes=True`` opts the run's session into
+    the store's cross-process probe leases, so concurrent runs in other
+    processes never execute the same fingerprinted probe twice (see
+    :meth:`~repro.core.store.SessionStore.claim_probe`).  All other
+    parameters mean exactly what they mean on :class:`P2GO`.
     """
 
     def __init__(
@@ -148,17 +146,17 @@ class P2GO:
         config: RuntimeConfig,
         trace: Sequence[TracePacket],
         target: TargetModel = DEFAULT_TARGET,
+        name: Optional[str] = None,
         phases: Sequence[int] = (2, 3, 4),
         max_dependency_removals: int = 8,
         max_memory_reductions: int = 1,
         offload_min_stage_savings: int = 1,
         max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
         review_hook: Optional[ReviewHook] = None,
-        session: Optional[OptimizationContext] = None,
         memoize: bool = True,
         workers: Optional[int] = None,
-        store=None,
         fastpath: Optional[bool] = None,
+        lease_probes: bool = False,
     ):
         program.validate()
         config.validate(program)
@@ -166,6 +164,7 @@ class P2GO:
             # Don't mutate the caller's config object.
             config = config.clone()
             config.enable_fastpath = fastpath
+        self.name = name if name is not None else program.name
         self.program = program
         self.config = config
         self.trace = list(trace)
@@ -176,10 +175,9 @@ class P2GO:
         self.offload_min_stage_savings = offload_min_stage_savings
         self.max_redirect_fraction = max_redirect_fraction
         self.review_hook = review_hook
-        self.session = session
         self.memoize = memoize
         self.workers = workers
-        self.store = store
+        self.lease_probes = lease_probes
 
     # ------------------------------------------------------------------
     def build_passes(self) -> List[OptimizationPass]:
@@ -212,36 +210,58 @@ class P2GO:
                 )
         return passes
 
-    def run(self) -> P2GOResult:
+    def create_session(
+        self, store: Optional[SessionStore] = None
+    ) -> OptimizationContext:
+        """A fresh session wired to this run's inputs (and ``store``)."""
+        return OptimizationContext(
+            self.program,
+            self.config,
+            self.trace,
+            self.target,
+            memoize=self.memoize,
+            workers=self.workers,
+            store=store,
+            lease_probes=self.lease_probes and store is not None,
+        )
+
+    def adopt_session(self, ctx: OptimizationContext) -> None:
+        """Re-wire an injected (possibly shared) session to this run.
+
+        The session keeps its memo cache, counters, and store; it
+        starts this run from our inputs.  The trace assignment re-keys
+        the profile memo and any pending disk hydration: a shared
+        session previously replayed other traffic (e.g. before an
+        OnlineProfiler drift alert) must not serve profiles recorded on
+        it.  Equal-content traces hash to the same key, so this never
+        costs a cached run anything.
+        """
+        ctx.program = self.program
+        ctx.config = self.config
+        ctx.trace = self.trace
+        if self.workers is not None:
+            ctx.workers = resolve_workers(self.workers)
+
+    def execute(
+        self,
+        session: Optional[OptimizationContext] = None,
+        store: Optional[SessionStore] = None,
+    ) -> P2GOResult:
+        """Run the full lifecycle and return the result.
+
+        With no ``session`` the run creates, drives, and closes its own
+        (attaching ``store`` when given).  An injected session is
+        adopted instead — it stays open afterwards, with this run's
+        executed probes flushed so another process can warm-start —
+        and ``store`` is ignored in favour of the session's own.
+        """
         passes = self.build_passes()
-        ctx = self.session
+        ctx = session
         owns_session = ctx is None
         if ctx is None:
-            ctx = OptimizationContext(
-                self.program,
-                self.config,
-                self.trace,
-                self.target,
-                memoize=self.memoize,
-                workers=self.workers,
-                store=resolve_store(self.store),
-            )
+            ctx = self.create_session(store=store)
         else:
-            # An injected (possibly shared) session starts this run from
-            # our inputs but keeps its memo cache, counters, and store.
-            ctx.program = self.program
-            ctx.config = self.config
-            # Re-key the profile memo and any pending disk hydration on
-            # this run's trace: a shared session previously replayed
-            # other traffic (e.g. before an OnlineProfiler drift alert)
-            # must not serve profiles recorded on it.  Equal-content
-            # traces hash to the same key, so this never costs a cached
-            # run anything.
-            ctx.trace = self.trace
-            if self.workers is not None:
-                from repro.core.session import resolve_workers
-
-                ctx.workers = resolve_workers(self.workers)
+            self.adopt_session(ctx)
         try:
             result = self._run_phases(ctx, passes)
         finally:
@@ -328,6 +348,112 @@ class P2GO:
             fastpath=fastpath_on,
             fastpath_reason=fastpath_reason,
         )
+
+
+class P2GO:
+    """Profile-guided optimizer for P4 programs.
+
+    Parameters mirror the knobs the paper describes: which phases run, how
+    many dependencies to remove, how many resizes to accept, the minimum
+    stage savings and controller-load ceiling for offloading, and the
+    review hook through which a programmer can veto changes.  The run
+    lifecycle itself lives in :class:`SwitchRun`; this class is the
+    single-switch wrapper that resolves the ``session``/``store`` knobs
+    the way library callers expect.
+
+    ``session`` lets several runs (or a run plus baselines/online
+    monitoring) share one compile/profile cache; by default each run gets
+    a fresh :class:`~repro.core.session.OptimizationContext`.
+    ``memoize=False`` disables the cache (every probe recompiles and
+    re-replays — the benchmark's reference mode).  ``workers`` sets how
+    many candidates the phases probe concurrently (None defers to the
+    ``P2GO_WORKERS`` environment variable, then to 1 — the serial path;
+    the result is identical either way).
+
+    ``store`` warm-starts the run from a persistent cross-run cache
+    (:class:`~repro.core.store.SessionStore`): pass a store instance or
+    a directory path; ``None`` (the default) uses ``$P2GO_STORE`` when
+    set and no store otherwise; ``False`` disables the store even when
+    the environment variable is set.  A second run over an unchanged
+    program + config + trace is served entirely from disk — zero
+    compiles, zero replays.  When a ``session`` is injected its own
+    store (or lack of one) is respected and ``store`` is ignored.
+    ``lease_probes=True`` additionally coordinates probe executions
+    with concurrent runs in *other processes* through store-level
+    leases (the fleet coordinator's dedup mechanism; it changes who
+    pays for a probe, never the result).
+
+    ``fastpath`` opts the profiling replays into the exec-compiled
+    whole-pipeline fast path (:mod:`repro.sim.fastpath`): ``True``/
+    ``False`` force it, ``None`` (the default) defers to
+    ``$P2GO_FASTPATH``.  Fast-path results are bit-identical to the
+    cached engine's, so this only changes replay speed; whether it
+    engaged (and why not) rides along on ``P2GOResult.fastpath`` /
+    ``fastpath_reason``.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        config: RuntimeConfig,
+        trace: Sequence[TracePacket],
+        target: TargetModel = DEFAULT_TARGET,
+        phases: Sequence[int] = (2, 3, 4),
+        max_dependency_removals: int = 8,
+        max_memory_reductions: int = 1,
+        offload_min_stage_savings: int = 1,
+        max_redirect_fraction: float = DEFAULT_MAX_REDIRECT,
+        review_hook: Optional[ReviewHook] = None,
+        session: Optional[OptimizationContext] = None,
+        memoize: bool = True,
+        workers: Optional[int] = None,
+        store=None,
+        fastpath: Optional[bool] = None,
+        lease_probes: bool = False,
+    ):
+        self.switch_run = SwitchRun(
+            program,
+            config,
+            trace,
+            target,
+            phases=phases,
+            max_dependency_removals=max_dependency_removals,
+            max_memory_reductions=max_memory_reductions,
+            offload_min_stage_savings=offload_min_stage_savings,
+            max_redirect_fraction=max_redirect_fraction,
+            review_hook=review_hook,
+            memoize=memoize,
+            workers=workers,
+            fastpath=fastpath,
+            lease_probes=lease_probes,
+        )
+        # Mirror the normalized inputs (the fastpath knob may have
+        # cloned the config) so callers keep seeing the familiar
+        # attributes.
+        self.program = self.switch_run.program
+        self.config = self.switch_run.config
+        self.trace = self.switch_run.trace
+        self.target = self.switch_run.target
+        self.phases = self.switch_run.phases
+        self.max_dependency_removals = max_dependency_removals
+        self.max_memory_reductions = max_memory_reductions
+        self.offload_min_stage_savings = offload_min_stage_savings
+        self.max_redirect_fraction = max_redirect_fraction
+        self.review_hook = review_hook
+        self.session = session
+        self.memoize = memoize
+        self.workers = workers
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def build_passes(self) -> List[OptimizationPass]:
+        """The requested phase order as configured pass instances."""
+        return self.switch_run.build_passes()
+
+    def run(self) -> P2GOResult:
+        if self.session is not None:
+            return self.switch_run.execute(session=self.session)
+        return self.switch_run.execute(store=resolve_store(self.store))
 
 
 def optimize(

@@ -3,14 +3,20 @@
 Renders a :class:`~repro.core.pipeline.P2GOResult` the way the paper's
 workflow expects: the stage progression per phase (Table 2's shape), every
 observation with its evidence, and the changes awaiting the programmer's
-judgement.
+judgement.  :func:`render_fleet_report` does the same for a fleet run
+(:mod:`repro.core.fleet`): the per-switch roll-up plus the fabric-level
+numbers — stages reclaimed, cross-switch probe reuse, lease contention,
+wall clock against running the switches independently.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, List
 
 from repro.core.pipeline import P2GOResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet -> report)
+    from repro.core.fleet import FleetResult
 
 
 def stage_table(result: P2GOResult) -> str:
@@ -154,3 +160,73 @@ def summary_line(result: P2GOResult) -> str:
         f"{result.original_program.name}: stages {path} "
         f"({len(result.observations.optimizations())} optimizations)"
     )
+
+
+def render_fleet_report(fleet: "FleetResult") -> str:
+    """The fabric-level report for one fleet run.
+
+    Per switch: the stage path and where its probe answers came from
+    (memo / shared disk store / executed).  For the fabric: total
+    stages reclaimed, the cross-switch reuse rate the shared store
+    bought, lease contention (waits that turned into disk hits instead
+    of duplicate work), and the wall clock against the sum of the
+    per-switch times — what the same fabric would cost run serially.
+    """
+    agg = fleet.aggregate()
+    lines: List[str] = [
+        "=" * 72,
+        f"P2GO fleet report — {agg['switches']} switches, "
+        f"{agg['workers']} workers",
+        "=" * 72,
+        "",
+    ]
+    name_width = max(
+        (len(switch.name) for switch in fleet.switches), default=6
+    )
+    for switch in fleet.switches:
+        result = switch.result
+        path = " -> ".join(str(o.stages) for o in result.outcomes)
+        provenance = ""
+        counters = result.session_counters
+        if counters is not None:
+            provenance = (
+                f"  [memo {counters.compile_hits + counters.profile_hits}"
+                f" / disk {counters.compile_disk_hits + counters.profile_disk_hits}"
+                f" / executed "
+                f"{counters.compile_executions + counters.profile_executions}]"
+            )
+        lines.append(
+            f"{switch.name:<{name_width}}  stages {path:<20} "
+            f"{switch.seconds:6.2f}s{provenance}"
+        )
+    lines.append("")
+    lines.append(
+        f"stages reclaimed: {agg['stages_reclaimed']} "
+        f"({agg['stages_before']} -> {agg['stages_after']} fabric-wide)"
+    )
+    lines.append(
+        f"probes: {agg['probe_calls']} asked, "
+        f"{agg['probe_executions']} executed, "
+        f"{agg['probe_disk_hits']} answered by the shared store "
+        f"(cross-switch reuse {agg['disk_reuse_rate']:.1%})"
+    )
+    if fleet.lease_probes:
+        lines.append(
+            f"leases: {agg['lease_claims']} claimed, "
+            f"{agg['lease_waits']} contended waits, "
+            f"{agg['lease_wait_hits']} resolved as disk hits, "
+            f"{agg['leases_reaped']} stale leases reaped"
+        )
+    if fleet.store_root is not None:
+        lines.append(f"shared store: {fleet.store_root}")
+    speedup = (
+        agg["switch_seconds"] / agg["wall_seconds"]
+        if agg["wall_seconds"] > 0
+        else 0.0
+    )
+    lines.append(
+        f"wall clock: {agg['wall_seconds']:.2f}s for the fleet vs "
+        f"{agg['switch_seconds']:.2f}s of per-switch work "
+        f"({speedup:.2f}x)"
+    )
+    return "\n".join(lines)

@@ -93,14 +93,30 @@ Serial write-back is buffered and flushed on :meth:`commit` and
 :meth:`close` (the probes' keys are captured at execution time, so a
 later trace swap cannot mis-key them); the :meth:`probe_many` merge
 wave flushes executed probes immediately so parallel waves persist even
-if the run is killed mid-phase.  Disk misses are remembered per key to
-avoid re-statting the store in tight probe loops; the trace setter
-drops the remembered *profile* misses (a drift-triggered re-run swaps
-the trace, and miss knowledge recorded under the old traffic — or
-before a concurrent writer persisted new entries — must not suppress
-re-keyed disk lookups; ``tests/test_session.py`` pins this next to the
-PR 4 stale-profile regression).  With ``memoize=False`` the store is
-inert in both directions: that mode exists to measure real executions.
+if the run is killed mid-phase.  Disk misses are remembered per key in
+a **bounded LRU** (``store_miss_cache_size``, default 4096) to avoid
+re-statting the store in tight probe loops — when the bound is hit the
+single least-recently-asked key is evicted, so a long fleet run never
+forgets all of its negative-miss knowledge at once and re-stats the
+whole disk tier.  The trace setter drops the remembered *profile*
+misses (a drift-triggered re-run swaps the trace, and miss knowledge
+recorded under the old traffic — or before a concurrent writer
+persisted new entries — must not suppress re-keyed disk lookups;
+``tests/test_session.py`` pins this next to the PR 4 stale-profile
+regression).  With ``memoize=False`` the store is inert in both
+directions: that mode exists to measure real executions.
+
+``lease_probes=True`` opts the session into the store's cross-process
+probe leases (:meth:`~repro.core.store.SessionStore.claim_probe`): a
+disk miss first claims the probe's lease — losing the claim means
+another *process* is executing that exact fingerprinted probe, so the
+session waits for its entry instead of re-executing (the cross-process
+analogue of ``probe_many``'s in-flight dedup).  Probes executed under
+a held lease write through to the store immediately (like the parallel
+merge wave — waiters are blocked on the lease, so the buffered flush
+would stall them) and release the lease.  This is the fleet
+coordinator's dedup mechanism (:mod:`repro.core.fleet`); single-run
+sessions leave it off and keep the buffered write-back.
 
 Concurrency contract (also DESIGN.md §9): worker tasks are *pure* —
 they receive pickled/shared immutable inputs and return results; every
@@ -121,13 +137,14 @@ from __future__ import annotations
 
 import hashlib
 import os
+import time
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profiler import Profile, Profiler
-from repro.core.store import SessionStore
+from repro.core.store import ProbeLease, SessionStore
 from repro.p4.dsl.printer import print_program
 from repro.p4.program import Program
 from repro.sim.perf import PerfCounters
@@ -144,6 +161,10 @@ REPLAY_EXECUTOR_ENV = "P2GO_REPLAY_EXECUTOR"
 #: Bound on the per-object program-digest cache (satellite of ISSUE 4:
 #: an unbounded cache kept every rejected candidate AST alive).
 DEFAULT_PROGRAM_KEY_CACHE = 256
+#: Bound on the remembered disk-miss keys; past it the least-recently
+#: asked key is evicted (not the whole cache — a long fleet run must
+#: never forget all negative-miss knowledge at once).
+DEFAULT_STORE_MISS_CACHE = 4096
 
 
 def program_fingerprint(program: Program) -> str:
@@ -343,6 +364,12 @@ class OptimizationContext:
     tier behind the memo cache (lookup order memo → disk → execute;
     executed probes are written back on commit/close and after each
     parallel wave).  Inert when ``memoize=False``.
+
+    ``lease_probes=True`` additionally coordinates executions across
+    *processes* through the store's probe leases: a disk miss claims
+    the probe before executing, and a lost claim waits for the holding
+    process's entry instead of re-executing (see the module docstring).
+    Requires a ``store``; inert without one or with ``memoize=False``.
     """
 
     def __init__(
@@ -356,9 +383,13 @@ class OptimizationContext:
         replay_executor: Optional[str] = None,
         program_key_cache_size: int = DEFAULT_PROGRAM_KEY_CACHE,
         store: Optional[SessionStore] = None,
+        lease_probes: bool = False,
+        store_miss_cache_size: int = DEFAULT_STORE_MISS_CACHE,
     ):
         if program_key_cache_size < 1:
             raise ValueError("program_key_cache_size must be >= 1")
+        if store_miss_cache_size < 1:
+            raise ValueError("store_miss_cache_size must be >= 1")
         self.program = program
         self.config = config
         self.target = target
@@ -372,8 +403,20 @@ class OptimizationContext:
         #: merge wave).
         self._store_pending: List[Tuple[str, Tuple, object]] = []
         #: Keys known to be absent on disk (avoids re-statting the
-        #: store per probe); profile entries are dropped on trace swap.
-        self._store_misses: Set[Tuple[str, Tuple]] = set()
+        #: store per probe), bounded LRU; profile entries are dropped
+        #: on trace swap.
+        self._store_misses: "OrderedDict[Tuple[str, Tuple], None]" = (
+            OrderedDict()
+        )
+        self._store_miss_cache_size = store_miss_cache_size
+        #: Cross-process probe coordination (off by default; the fleet
+        #: coordinator turns it on).
+        self.lease_probes = lease_probes
+        #: Leases this session currently holds: (kind, key) -> lease.
+        #: Popped (and released) by the write-through in
+        #: :meth:`_queue_store_write`; :meth:`close` releases leftovers
+        #: (an execution that raised between claim and write).
+        self._held_leases: Dict[Tuple[str, Tuple], ProbeLease] = {}
         self.workers = resolve_workers(workers)
         self.replay_executor = resolve_replay_executor(replay_executor)
         self.counters = SessionCounters()
@@ -422,9 +465,11 @@ class OptimizationContext:
         """
         self._trace = list(trace)
         self._trace_key = trace_fingerprint(self._trace)
-        self._store_misses = {
-            entry for entry in self._store_misses if entry[0] != "profile"
-        }
+        self._store_misses = OrderedDict(
+            (entry, None)
+            for entry in self._store_misses
+            if entry[0] != "profile"
+        )
 
     @property
     def trace_key(self) -> str:
@@ -459,9 +504,13 @@ class OptimizationContext:
     # Persistent store (disk tier behind the memo cache)
 
     def _store_load_compile(self, key: Tuple) -> Optional[CompileResult]:
-        if self.store is None or ("compile", key) in self._store_misses:
+        if self.store is None or self._store_miss_remembered(
+            ("compile", key)
+        ):
             return None
         loaded = self.store.load_compile(key)
+        if loaded is None and self.lease_probes:
+            loaded = self._store_coordinate("compile", key)
         if loaded is None:
             self._remember_store_miss(("compile", key))
         return loaded
@@ -469,17 +518,50 @@ class OptimizationContext:
     def _store_load_profile(
         self, key: Tuple
     ) -> Optional[Tuple[Profile, PerfCounters]]:
-        if self.store is None or ("profile", key) in self._store_misses:
+        if self.store is None or self._store_miss_remembered(
+            ("profile", key)
+        ):
             return None
         loaded = self.store.load_profile(key)
+        if loaded is None and self.lease_probes:
+            loaded = self._store_coordinate("profile", key)
         if loaded is None:
             self._remember_store_miss(("profile", key))
         return loaded
 
+    def _store_coordinate(self, kind: str, key: Tuple):
+        """Cross-process probe dedup on a disk miss (leases enabled).
+
+        Either wins the probe's lease (returns None — the caller
+        executes, and the write-through in :meth:`_queue_store_write`
+        releases it) or waits out the process that holds it and returns
+        that process's entry (a disk hit to the caller).  Bounded by
+        the store's ``lease_ttl``: past it the session executes without
+        a lease — duplicated work beats a wedged fleet.
+        """
+        deadline = time.monotonic() + self.store.lease_ttl
+        while True:
+            lease = self.store.claim_probe(kind, key)
+            if lease is not None:
+                self._held_leases[(kind, key)] = lease
+                return None
+            value = self.store.wait_for_probe(kind, key, deadline=deadline)
+            if value is not None:
+                return value
+            if time.monotonic() >= deadline:
+                return None
+
+    def _store_miss_remembered(self, entry: Tuple[str, Tuple]) -> bool:
+        if entry not in self._store_misses:
+            return False
+        self._store_misses.move_to_end(entry)
+        return True
+
     def _remember_store_miss(self, entry: Tuple[str, Tuple]) -> None:
-        if len(self._store_misses) >= 4096:  # runaway-probe backstop
-            self._store_misses.clear()
-        self._store_misses.add(entry)
+        self._store_misses[entry] = None
+        self._store_misses.move_to_end(entry)
+        while len(self._store_misses) > self._store_miss_cache_size:
+            self._store_misses.popitem(last=False)
 
     def flush_store(self) -> int:
         """Write every executed-but-unflushed probe to the disk store
@@ -489,17 +571,34 @@ class OptimizationContext:
         if self.store is None:
             return 0
         for kind, key, value in pending:
-            if kind == "compile":
-                self.store.store_compile(key, value)
-            else:
-                profile, perf = value
-                self.store.store_profile(key, profile, perf)
-            self._store_misses.discard((kind, key))
+            self._store_write(kind, key, value)
         return len(pending)
 
+    def _store_write(self, kind: str, key: Tuple, value) -> None:
+        if kind == "compile":
+            self.store.store_compile(key, value)
+        else:
+            profile, perf = value
+            self.store.store_profile(key, profile, perf)
+        self._store_misses.pop((kind, key), None)
+
     def _queue_store_write(self, kind: str, key: Tuple, value) -> None:
-        if self.store is not None:
-            self._store_pending.append((kind, key, value))
+        if self.store is None:
+            return
+        lease = self._held_leases.pop((kind, key), None)
+        if lease is not None:
+            # Write through immediately: waiters in other processes are
+            # blocked on this lease, so the buffered flush would stall
+            # them until commit/close.
+            self._store_write(kind, key, value)
+            lease.release()
+            return
+        self._store_pending.append((kind, key, value))
+
+    def _release_leases(self) -> None:
+        leases, self._held_leases = list(self._held_leases.values()), {}
+        for lease in leases:
+            lease.release()
 
     # ------------------------------------------------------------------
     # Memoized compile / profile (serial)
@@ -810,10 +909,12 @@ class OptimizationContext:
         return ThreadPoolExecutor(max_workers=workers)
 
     def close(self) -> None:
-        """Flush pending store write-backs and release the worker pools
-        (memo caches and counters survive; pools are recreated lazily
-        if the session batches again)."""
+        """Flush pending store write-backs, release any still-held
+        probe leases, and release the worker pools (memo caches and
+        counters survive; pools are recreated lazily if the session
+        batches again)."""
         self.flush_store()
+        self._release_leases()
         pools = list(self._pools.values())
         self._pools.clear()
         for _size, pool in pools:

@@ -40,6 +40,21 @@ Durability and safety contract (DESIGN.md §10):
   exceeds ``max_bytes`` after a write, the least-recently-used entries
   are evicted (oldest mtime first, name as the deterministic
   tie-break).
+* **Probe leases.**  ``probe_many`` already dedupes equal-fingerprint
+  probes *in-process*; the lease protocol extends that across
+  processes (the fleet coordinator's whole point).  A process about to
+  execute a probe first tries :meth:`SessionStore.claim_probe`: an
+  ``O_EXCL``-created ``<entry>.lease`` claim file beside the entry.
+  Losing the claim means another process is already executing that
+  exact fingerprinted probe — :meth:`SessionStore.wait_for_probe`
+  polls until the entry lands (a cross-process disk hit) or the lease
+  goes stale.  Leases carry a TTL (``lease_ttl``): a holder that died
+  mid-execution is reaped by the next claimant instead of wedging the
+  fleet, and a wait never outlives the TTL — at worst two processes
+  re-pay one probe, they never produce different content.  Lease
+  telemetry (claims, waits, wait hits, reaps) rides on
+  :class:`StoreCounters`.  Lease files are invisible to the census,
+  the LRU sweep, and ``clear()``.
 
 The session hydrates from the store on memo miss and flushes executed
 probes back on ``commit()`` / ``close()`` (serial path) and in the
@@ -53,6 +68,7 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
@@ -64,10 +80,12 @@ if TYPE_CHECKING:  # pragma: no cover — typing-only imports, no cycle
 
 __all__ = [
     "SCHEMA_VERSION",
+    "ProbeLease",
     "SessionStore",
     "StoreCounters",
     "code_fingerprint",
     "default_store_root",
+    "human_bytes",
     "resolve_store",
 ]
 
@@ -81,6 +99,27 @@ STORE_ENV = "P2GO_STORE"
 
 #: Default size cap before LRU eviction kicks in.
 DEFAULT_MAX_BYTES = 512 * 1024 * 1024
+
+#: Default age after which another process's lease is considered dead
+#: and may be reaped.  Must comfortably exceed one probe's execution
+#: time (a compile or a trace replay — seconds), so an expiry almost
+#: always means the holder crashed, not that it is slow.
+DEFAULT_LEASE_TTL = 120.0
+
+#: Suffixes of files in the entry directories that are not entries.
+_NON_ENTRY_SUFFIXES = (".tmp", ".lease")
+
+
+def human_bytes(count: int) -> str:
+    """``1234567`` → ``"1.2 MiB"`` (exact bytes below 1 KiB)."""
+    size = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(size)} B"
+            return f"{size:.1f} {unit}"
+        size /= 1024
+    raise AssertionError("unreachable")  # pragma: no cover
 
 #: Modules whose pickled classes appear inside store entries.  Their
 #: source bytes feed the manifest's code fingerprint: touching any of
@@ -168,6 +207,18 @@ class StoreCounters:
     #: I/O or pickling failures that were swallowed (the store degrades
     #: to a miss / dropped write, never an exception).
     errors: int = 0
+    #: Probe leases this process won (it executed those probes).
+    lease_claims: int = 0
+    #: Leases released after the entry was written.
+    lease_releases: int = 0
+    #: Times this process lost a claim and waited on another process's
+    #: in-flight probe (cross-process contention).
+    lease_waits: int = 0
+    #: Waits that ended with the other process's entry served (the
+    #: cross-process analogue of an in-flight dedup hit).
+    lease_wait_hits: int = 0
+    #: Stale leases (holder dead past the TTL) broken by this process.
+    leases_reaped: int = 0
 
     @property
     def hits(self) -> int:
@@ -183,7 +234,40 @@ class StoreCounters:
             "quarantined": self.quarantined,
             "resets": self.resets,
             "errors": self.errors,
+            "lease_claims": self.lease_claims,
+            "lease_releases": self.lease_releases,
+            "lease_waits": self.lease_waits,
+            "lease_wait_hits": self.lease_wait_hits,
+            "leases_reaped": self.leases_reaped,
         }
+
+
+@dataclass
+class ProbeLease:
+    """An exclusive cross-process claim on one in-flight probe.
+
+    Won via :meth:`SessionStore.claim_probe`; the holder executes the
+    probe, writes the entry, then calls :meth:`release` so waiters in
+    other processes see the entry instead of re-executing.  A lease
+    whose holder dies is reaped by the next claimant once it is older
+    than the store's ``lease_ttl``.
+    """
+
+    store: "SessionStore"
+    kind: str
+    key: Tuple
+    path: Path
+    released: bool = False
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        self.store.counters.lease_releases += 1
 
 
 class SessionStore:
@@ -195,7 +279,9 @@ class SessionStore:
     layouts.  ``max_bytes`` caps the summed size of entry files; the
     least-recently-used entries are evicted past it.
     ``code_fp`` overrides the manifest code fingerprint (tests use this
-    to simulate a store written by different code).
+    to simulate a store written by different code).  ``lease_ttl`` is
+    the age past which another process's probe lease counts as dead
+    (and the longest a :meth:`wait_for_probe` can block).
 
     Every public method is exception-safe: I/O and pickling failures
     degrade to a miss (loads) or a dropped write (stores) and are
@@ -208,12 +294,16 @@ class SessionStore:
         root: Union[str, Path, None] = None,
         max_bytes: int = DEFAULT_MAX_BYTES,
         code_fp: Optional[str] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
     ):
         if max_bytes < 1:
             raise ValueError("max_bytes must be >= 1")
+        if lease_ttl <= 0:
+            raise ValueError("lease_ttl must be > 0")
         self.root = Path(root).expanduser() if root else default_store_root()
         self.base = self.root / f"v{SCHEMA_VERSION}"
         self.max_bytes = max_bytes
+        self.lease_ttl = lease_ttl
         self.counters = StoreCounters()
         self._code_fp = code_fp
         self._seq = 0
@@ -286,12 +376,17 @@ class SessionStore:
             (json.dumps(manifest, sort_keys=True) + "\n").encode(),
         )
 
+    @staticmethod
+    def _is_entry_name(name: str) -> bool:
+        return not name.endswith(_NON_ENTRY_SUFFIXES)
+
     def _has_entries(self) -> bool:
         for kind in ("compile", "profile"):
             try:
-                next(self._dir(kind).iterdir())
-                return True
-            except (StopIteration, OSError):
+                for path in self._dir(kind).iterdir():
+                    if self._is_entry_name(path.name):
+                        return True
+            except OSError:
                 continue
         return False
 
@@ -306,6 +401,14 @@ class SessionStore:
             except OSError:
                 continue
             for name in names:
+                if not self._is_entry_name(name):
+                    # Stale temp/lease files from the old format are
+                    # not worth preserving — just drop them.
+                    try:
+                        os.unlink(directory / name)
+                    except OSError:
+                        pass
+                    continue
                 self._quarantine(directory / name, count=False)
 
     # ------------------------------------------------------------------
@@ -403,6 +506,106 @@ class SessionStore:
         self._evict_over_cap()
 
     # ------------------------------------------------------------------
+    # Probe leases (cross-process in-flight dedup)
+
+    def _lease_path(self, kind: str, key: Tuple) -> Path:
+        return self._dir(kind) / (self._entry_name(kind, key) + ".lease")
+
+    def _lease_age(self, path: Path) -> Optional[float]:
+        """Seconds since the lease was taken, or None when it is gone."""
+        try:
+            return max(0.0, time.time() - path.stat().st_mtime)
+        except OSError:
+            return None
+
+    def claim_probe(self, kind: str, key: Tuple) -> Optional[ProbeLease]:
+        """Try to claim exclusive execution of one probe.
+
+        Returns a :class:`ProbeLease` when this process won (it should
+        execute the probe, write the entry, then ``release()``), or
+        None when another process holds a fresh lease on the same
+        fingerprint — the caller should :meth:`wait_for_probe` instead
+        of executing.  A lease older than ``lease_ttl`` is reaped (its
+        holder is presumed dead) and re-claimed.
+        """
+        if not self._ensure_ready():
+            return None
+        path = self._lease_path(kind, key)
+        for _attempt in (0, 1):
+            try:
+                fd = os.open(
+                    path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                age = self._lease_age(path)
+                if age is not None and age <= self.lease_ttl:
+                    return None
+                if age is not None:
+                    # Holder dead past the TTL: break the lease and
+                    # retry the O_EXCL create (one racer wins it).
+                    try:
+                        os.unlink(path)
+                        self.counters.leases_reaped += 1
+                    except OSError:
+                        pass
+                continue
+            except OSError:
+                self.counters.errors += 1
+                return None
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(json.dumps({"pid": os.getpid()}))
+            except OSError:
+                self.counters.errors += 1
+            self.counters.lease_claims += 1
+            return ProbeLease(self, kind, key, path)
+        return None
+
+    def wait_for_probe(
+        self,
+        kind: str,
+        key: Tuple,
+        deadline: Optional[float] = None,
+        poll: float = 0.02,
+    ):
+        """Wait for another process's in-flight probe to land.
+
+        Polls while the lease stays fresh.  Returns the loaded entry
+        value (a cross-process dedup hit), or None when the lease
+        vanished or went stale without producing an entry — the caller
+        should retry :meth:`claim_probe` — or when ``deadline``
+        (``time.monotonic()`` based; defaults to ``lease_ttl`` from
+        now) passes, in which case the caller should just execute:
+        duplicated work is always preferable to a wedged run.
+        """
+        if deadline is None:
+            deadline = time.monotonic() + self.lease_ttl
+        load = self.load_compile if kind == "compile" else self.load_profile
+        entry = self._entry_path(kind, key)
+        lease = self._lease_path(kind, key)
+        self.counters.lease_waits += 1
+        while True:
+            if entry.exists():
+                value = load(key)
+                if value is not None:
+                    self.counters.lease_wait_hits += 1
+                    return value
+                # The entry was corrupt (now quarantined) — fall
+                # through to the lease check.
+            age = self._lease_age(lease)
+            if age is None:
+                # Lease released: one final look for the entry.
+                if entry.exists():
+                    value = load(key)
+                    if value is not None:
+                        self.counters.lease_wait_hits += 1
+                        return value
+                return None
+            if age > self.lease_ttl or time.monotonic() >= deadline:
+                return None
+            time.sleep(poll)
+
+    # ------------------------------------------------------------------
     # Public API
 
     def load_compile(self, key: Tuple) -> Optional["CompileResult"]:
@@ -443,7 +646,7 @@ class SessionStore:
             except OSError:
                 continue
             for path in names:
-                if path.name.endswith(".tmp"):
+                if not self._is_entry_name(path.name):
                     continue
                 try:
                     stat = path.stat()
@@ -489,14 +692,14 @@ class SessionStore:
                     os.unlink(path)
                 except OSError:
                     continue
-                if kind != "quarantine":
+                if kind != "quarantine" and self._is_entry_name(path.name):
                     removed += 1
         return removed
 
     def stats(self) -> Dict:
         """Census + this process's counters, JSON-ready."""
         entries = {"compile": 0, "profile": 0}
-        total_bytes = 0
+        entry_bytes = {"compile": 0, "profile": 0}
         if self._ensure_ready():
             for kind in entries:
                 directory = self._dir(kind)
@@ -505,10 +708,10 @@ class SessionStore:
                 except OSError:
                     continue
                 for path in paths:
-                    if path.name.endswith(".tmp"):
+                    if not self._is_entry_name(path.name):
                         continue
                     try:
-                        total_bytes += path.stat().st_size
+                        entry_bytes[kind] += path.stat().st_size
                     except OSError:
                         continue
                     entries[kind] += 1
@@ -527,8 +730,10 @@ class SessionStore:
             "max_bytes": self.max_bytes,
             "compile_entries": entries["compile"],
             "profile_entries": entries["profile"],
+            "compile_bytes": entry_bytes["compile"],
+            "profile_bytes": entry_bytes["profile"],
             "quarantine_entries": quarantine,
-            "total_bytes": total_bytes,
+            "total_bytes": entry_bytes["compile"] + entry_bytes["profile"],
             "counters": self.counters.as_dict(),
         }
 

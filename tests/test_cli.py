@@ -227,14 +227,20 @@ class TestStore:
         assert main(["store", "stats", "--store", str(store)]) == 0
         out = capsys.readouterr().out
         assert "store root:" in out
-        assert "0 compile" not in out  # entries were persisted
+        # Per-kind breakdown with human-readable sizes, one line each.
+        assert "compile entries:   " in out
+        assert "profile entries:   " in out
+        assert "compile entries:   0 " not in out  # entries persisted
+        assert "profile entries:   0 " not in out
+        assert "KiB" in out or "MiB" in out
+        assert "cap" in out
 
         assert main(["store", "clear", "--store", str(store)]) == 0
         assert "removed" in capsys.readouterr().out
         main(["store", "stats", "--store", str(store)])
-        assert "entries:           0 compile, 0 profile" in (
-            capsys.readouterr().out
-        )
+        out = capsys.readouterr().out
+        assert "compile entries:   0 (0 B)" in out
+        assert "profile entries:   0 (0 B)" in out
 
     def test_env_var_enables_store(
         self, toy_files, tmp_path, capsys, monkeypatch
@@ -299,3 +305,60 @@ class TestFuzz:
     def test_unknown_axis_rejected(self, capsys):
         assert main(["fuzz", "--axes", "bogus"]) == 2
         assert "unknown axes" in capsys.readouterr().err
+
+
+class TestFleet:
+    """``p2go fleet``: a built-in fabric over one shared store."""
+
+    FAST = ["--size", "2", "--families", "nat_gre,cgnat",
+            "--packets", "120"]
+
+    def test_fleet_prints_report_and_writes_json(
+        self, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        summary = tmp_path / "fleet.json"
+        assert main(
+            ["fleet", *self.FAST, "--store", str(store),
+             "--json", str(summary)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P2GO fleet report — 2 switches" in out
+        assert "sw00-nat_gre" in out and "sw01-cgnat" in out
+        assert "stages reclaimed:" in out
+        assert "cross-switch reuse" in out
+        assert str(store) in out
+        payload = json.loads(summary.read_text())
+        assert payload["aggregate"]["switches"] == 2
+        assert len(payload["switches"]) == 2
+        assert (store / "v1").exists()
+
+    def test_fleet_report_file(self, tmp_path, capsys):
+        report = tmp_path / "fleet.txt"
+        assert main(
+            ["fleet", *self.FAST, "--no-store",
+             "--report", str(report)]
+        ) == 0
+        assert "fleet report written to" in capsys.readouterr().out
+        assert "stages reclaimed:" in report.read_text()
+
+    def test_no_store_beats_env_var(self, tmp_path, capsys, monkeypatch):
+        store = tmp_path / "env-store"
+        monkeypatch.setenv("P2GO_STORE", str(store))
+        assert main(["fleet", *self.FAST, "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "shared store:" not in out
+        assert not store.exists()
+
+    def test_env_var_enables_store(self, tmp_path, capsys, monkeypatch):
+        store = tmp_path / "env-store"
+        monkeypatch.setenv("P2GO_STORE", str(store))
+        assert main(["fleet", *self.FAST]) == 0
+        assert "shared store:" in capsys.readouterr().out
+        assert (store / "v1").exists()
+
+    def test_unknown_family_reports_error(self, capsys):
+        assert main(
+            ["fleet", "--size", "1", "--families", "no_such_family"]
+        ) == 2
+        assert "unknown program family" in capsys.readouterr().err

@@ -195,7 +195,7 @@ class TestTraceIdentity:
             config_fingerprint(ctx.config),
             trace_fingerprint(drifted),
         )
-        ctx._store_misses.add(("profile", drifted_key))
+        ctx._remember_store_miss(("profile", drifted_key))
         ctx.trace = drifted  # the swap must drop that stale knowledge
         ctx.profile()
         assert ctx.counters.profile_executions == 1  # no re-replay
@@ -372,3 +372,59 @@ class TestPerfWindows:
         assert merged.table_lookups == {"t": 5, "u": 1}
         assert merged.packets_per_second() == pytest.approx(6.0)
         assert merge_perf([]) is None
+
+
+class TestStoreMissCache:
+    """The negative disk cache is a bounded LRU (ISSUE 8), not a set
+    that gets wholesale-cleared: eviction drops only the coldest
+    entries while hot ones keep short-circuiting disk lookups."""
+
+    def make_ctx(self, tmp_path, size):
+        from repro.core.store import SessionStore
+
+        return OptimizationContext(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=SessionStore(tmp_path / "store"),
+            store_miss_cache_size=size,
+        )
+
+    def test_rejects_nonpositive_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            self.make_ctx(tmp_path, 0)
+
+    def test_eviction_is_bounded_and_oldest_first(self, tmp_path):
+        ctx = self.make_ctx(tmp_path, 4)
+        for index in range(10):
+            ctx._remember_store_miss(("compile", (f"k{index}",)))
+        assert list(ctx._store_misses) == [
+            ("compile", (f"k{index}",)) for index in (6, 7, 8, 9)
+        ]
+
+    def test_lookup_refreshes_recency(self, tmp_path):
+        ctx = self.make_ctx(tmp_path, 3)
+        for name in ("a", "b", "c"):
+            ctx._remember_store_miss(("compile", (name,)))
+        # Touch the oldest entry, then overflow by one: the untouched
+        # runner-up ("b") must be the one evicted.
+        assert ctx._store_miss_remembered(("compile", ("a",)))
+        ctx._remember_store_miss(("compile", ("d",)))
+        assert ("compile", ("a",)) in ctx._store_misses
+        assert ("compile", ("b",)) not in ctx._store_misses
+
+    def test_remembered_miss_skips_disk(self, tmp_path):
+        ctx = self.make_ctx(tmp_path, 8)
+        ctx.compile()  # cold: disk miss remembered, probe executed
+        assert ctx.counters.compile_disk_hits == 0
+        key = next(iter(ctx._store_misses))
+        assert key[0] == "compile"
+        # A hot remembered miss answers without touching the store.
+        assert ctx._store_load_compile(key[1]) is None
+        assert ctx.store.counters.misses == 1  # still just the cold one
+
+    def test_evicted_miss_falls_back_to_disk_probe(self, tmp_path):
+        ctx = self.make_ctx(tmp_path, 1)
+        ctx._remember_store_miss(("compile", ("cold",)))
+        ctx._remember_store_miss(("compile", ("hot",)))  # evicts "cold"
+        before = ctx.store.counters.misses
+        assert ctx._store_load_compile(("cold",)) is None
+        assert ctx.store.counters.misses == before + 1  # disk re-asked

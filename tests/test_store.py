@@ -15,6 +15,7 @@ import json
 import os
 import pickle
 import threading
+import time
 
 import pytest
 
@@ -579,3 +580,208 @@ class TestSeedEquivalence:
         assert_equivalent(warm, baseline)
         assert warm.session_counters.compile_executions == 0
         assert warm.session_counters.profile_executions == 0
+
+
+# ----------------------------------------------------------------------
+# Probe leases (ISSUE 8): cross-process dedup of in-flight probes.
+
+
+class TestProbeLeases:
+    """Claim / wait / release / reap on one shared root."""
+
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        holder = SessionStore(tmp_path / "store")
+        rival = SessionStore(tmp_path / "store")
+        lease = holder.claim_probe("compile", ("k",))
+        assert lease is not None
+        assert rival.claim_probe("compile", ("k",)) is None
+        lease.release()
+        assert rival.claim_probe("compile", ("k",)) is not None
+        assert holder.counters.lease_claims == 1
+        assert holder.counters.lease_releases == 1
+        assert rival.counters.lease_claims == 1
+
+    def test_release_is_idempotent(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        lease = store.claim_probe("profile", ("k",))
+        lease.release()
+        lease.release()
+        assert store.counters.lease_releases == 1
+
+    def test_distinct_probes_lease_independently(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        assert store.claim_probe("compile", ("a",)) is not None
+        assert store.claim_probe("compile", ("b",)) is not None
+        assert store.claim_probe("profile", ("a",)) is not None
+
+    def test_stale_lease_is_reaped(self, tmp_path):
+        dead = SessionStore(tmp_path / "store", lease_ttl=0.05)
+        dead.claim_probe("compile", ("k",))  # never released
+        time.sleep(0.1)
+        survivor = SessionStore(tmp_path / "store", lease_ttl=0.05)
+        assert survivor.claim_probe("compile", ("k",)) is not None
+        assert survivor.counters.leases_reaped == 1
+
+    def test_wait_returns_entry_written_by_holder(self, tmp_path):
+        holder = SessionStore(tmp_path / "store")
+        waiter = SessionStore(tmp_path / "store")
+        lease = holder.claim_probe("compile", ("k",))
+
+        def finish():
+            time.sleep(0.05)
+            holder.store_compile(("k",), "answer")
+            lease.release()
+
+        thread = threading.Thread(target=finish)
+        thread.start()
+        try:
+            assert waiter.wait_for_probe("compile", ("k",)) == "answer"
+        finally:
+            thread.join()
+        assert waiter.counters.lease_waits == 1
+        assert waiter.counters.lease_wait_hits == 1
+
+    def test_wait_returns_none_when_lease_vanishes_empty(self, tmp_path):
+        holder = SessionStore(tmp_path / "store")
+        waiter = SessionStore(tmp_path / "store")
+        lease = holder.claim_probe("profile", ("k",))
+        lease.release()  # holder gave up without writing
+        assert waiter.wait_for_probe("profile", ("k",)) is None
+        assert waiter.counters.lease_wait_hits == 0
+
+    def test_wait_respects_deadline(self, tmp_path):
+        holder = SessionStore(tmp_path / "store")
+        waiter = SessionStore(tmp_path / "store")
+        holder.claim_probe("compile", ("k",))  # held throughout
+        start = time.monotonic()
+        value = waiter.wait_for_probe(
+            "compile", ("k",), deadline=time.monotonic() + 0.1
+        )
+        assert value is None
+        assert time.monotonic() - start < 2.0
+
+    def test_lease_files_invisible_to_census_and_clear(self, tmp_path):
+        store = SessionStore(tmp_path / "store")
+        store.store_compile(("real",), "entry")
+        store.claim_probe("compile", ("pending",))
+        stats = store.stats()
+        assert stats["compile_entries"] == 1
+        assert store.clear() == 1  # the entry, not the lease
+        # clear() leaves no stale lease behind either.
+        assert store.claim_probe("compile", ("pending",)) is not None
+
+    def test_invalidate_sweeps_leases(self, tmp_path):
+        root = tmp_path / "store"
+        old = SessionStore(root)
+        old.claim_probe("compile", ("k",))
+        # A code-fingerprint drift quarantines entries; leases must not
+        # survive into the fresh layout as ghost claims.
+        manifest = json.loads(old._manifest_path().read_text())
+        manifest["code"] = "f" * 64
+        old._manifest_path().write_text(json.dumps(manifest))
+        fresh = SessionStore(root)
+        assert fresh.claim_probe("compile", ("k",)) is not None
+
+
+# ----------------------------------------------------------------------
+# Multi-process sharing (ISSUE 8): real processes, one store root.
+
+
+def _hammer_process(root, worker):
+    """Pool worker: interleaved store/load rounds on the shared root.
+    Returns an error string on the first malformed read, else the
+    worker's store I/O error count (must be 0)."""
+    store = SessionStore(root)
+    for round_no in range(40):
+        key = (f"k{round_no % 11}",)
+        store.store_compile(key, f"{worker}:{round_no}")
+        loaded = store.load_compile(key)
+        if loaded is not None and ":" not in loaded:
+            return f"corrupt value {loaded!r}"
+    return store.counters.errors
+
+
+def _leased_toy_run(root):
+    """Pool worker: one lease-coordinated toy pipeline against the
+    shared root.  Returns this process's execution/hit counters."""
+    result = P2GO(
+        build_toy_program(), toy_config(), make_trace(), DEFAULT_TARGET,
+        store=SessionStore(root), lease_probes=True,
+    ).run()
+    counters = result.session_counters
+    return {
+        "compile_executions": counters.compile_executions,
+        "profile_executions": counters.profile_executions,
+        "disk_hits": (
+            counters.compile_disk_hits + counters.profile_disk_hits
+        ),
+    }
+
+
+class TestMultiProcessStore:
+    """N genuine processes against one root: no lost or corrupt
+    entries, and (with leases) no probe executed twice fleet-wide."""
+
+    def _pool(self, workers):
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            return ProcessPoolExecutor(max_workers=workers)
+        except (OSError, NotImplementedError):  # pragma: no cover
+            pytest.skip("platform cannot spawn worker processes")
+
+    def test_process_hammer_no_lost_or_corrupt_entries(self, tmp_path):
+        root = str(tmp_path / "store")
+        with self._pool(4) as pool:
+            outcomes = list(
+                pool.map(_hammer_process, [root] * 4, range(4))
+            )
+        assert outcomes == [0, 0, 0, 0]
+        survivor = SessionStore(root)
+        for round_no in range(11):
+            value = survivor.load_compile((f"k{round_no}",))
+            assert value is not None
+            worker, _, stamp = value.partition(":")
+            assert int(worker) in range(4) and stamp.isdigit()
+        assert survivor.stats()["quarantine_entries"] == 0
+
+    def test_two_processes_never_both_execute_a_probe(self, tmp_path):
+        # The lease acceptance bar: across two concurrent processes
+        # optimizing the same program, every fingerprinted probe is
+        # executed by exactly one of them — the fleet-wide execution
+        # total equals the distinct-probe count a single storeless run
+        # pays, and every probe the loser skipped came back as a disk
+        # hit.
+        solo = P2GO(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET, store=False,
+        ).run().session_counters
+        root = str(tmp_path / "store")
+        with self._pool(2) as pool:
+            outcomes = list(
+                pool.map(_leased_toy_run, [root, root])
+            )
+        assert (
+            sum(o["compile_executions"] for o in outcomes)
+            == solo.compile_executions
+        )
+        assert (
+            sum(o["profile_executions"] for o in outcomes)
+            == solo.profile_executions
+        )
+        assert sum(o["disk_hits"] for o in outcomes) == (
+            solo.compile_executions + solo.profile_executions
+        )
+
+    def test_no_leases_left_behind_after_runs(self, tmp_path):
+        root = str(tmp_path / "store")
+        with self._pool(2) as pool:
+            list(pool.map(_leased_toy_run, [root, root]))
+        store = SessionStore(root)
+        leftovers = [
+            path
+            for kind in ("compile", "profile")
+            for path in store._dir(kind).iterdir()
+            if path.name.endswith(".lease")
+        ]
+        assert leftovers == []
