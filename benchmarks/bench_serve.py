@@ -1,0 +1,265 @@
+"""Serve-loop benchmark: the continuous-optimization daemon under drift.
+
+ISSUE 9's acceptance bar: a scripted drift scenario served through
+``ContinuousOptimizer`` must complete at least one full detect -> warm
+reoptimize -> equivalence-gated swap cycle with **zero** dropped or
+misprocessed packets, and the promotion (swap) latency must be
+recorded.  This bench runs the canonical firewall drift scenario two
+ways:
+
+* **sync** (``workers=0``) — re-optimization inline in the ingest loop.
+  Every counter (packets, alerts, cycles, swaps, rejections) is
+  deterministic in the feed seed, so the aggregate counts gate exactly
+  against the committed ``BENCH_serve.json``;
+* **async** (``workers=1``) — re-optimization on a worker thread while
+  traffic keeps flowing.  This measures the daemon's headline numbers:
+  ingest throughput *while a re-optimization is in flight* and the
+  atomic-swap latency.  Both are timings, so they are printed for
+  context but never gate — shared CI runners are too noisy.
+
+Refresh the committed baseline with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --write-baseline
+
+CI runs the dependency-free quick mode instead::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+
+which serves a smaller fixed-seed scenario, requires the full
+drift -> swap cycle and the zero-misprocessed invariant, and compares
+the sync-mode counters against the committed baseline exactly.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.serve import ContinuousOptimizer, GeneratorFeed
+from repro.programs import example_firewall as fw
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Full mode: the canonical drift scenario (the regression tests' one).
+FULL = {
+    "baseline_packets": 3000,
+    "total": 1600,
+    "window": 400,
+    "tolerance": 0.15,
+}
+#: Quick mode: the same shape, smaller.
+QUICK = {
+    "baseline_packets": 2000,
+    "total": 1200,
+    "window": 300,
+    "tolerance": 0.15,
+}
+SEED = 0
+SHIFT_AT = 0.5
+
+
+def measure_serve(
+    baseline_packets: int,
+    total: int,
+    window: int,
+    tolerance: float,
+    workers: int = 0,
+) -> dict:
+    """One daemon run over the fixed-seed firewall drift scenario."""
+    optimizer = ContinuousOptimizer(
+        fw.build_program(),
+        fw.runtime_config(),
+        fw.make_trace(baseline_packets, seed=SEED),
+        fw.TARGET,
+        window=window,
+        hit_rate_tolerance=tolerance,
+        workers=workers,
+    )
+    feed = GeneratorFeed.firewall_drift(
+        total=total, seed=SEED, shift_at=SHIFT_AT
+    )
+    t0 = time.perf_counter()
+    result = optimizer.run(feed, max_packets=total)
+    wall = time.perf_counter() - t0
+    stats = result.stats
+    under = stats.under_reoptimize_pps
+    return {
+        "workers": workers,
+        "baseline_packets": baseline_packets,
+        "window": window,
+        "tolerance": tolerance,
+        # Deterministic in sync mode — what the quick gate pins.
+        "counts": stats.counts(),
+        # Timings: informational only.
+        "wall_seconds": round(wall, 3),
+        "packets_per_second": round(stats.packets_per_second, 1),
+        "swap_latency_ms": round(stats.swap_latency * 1e3, 3),
+        "swap_latency_max_ms": round(
+            max(stats.swap_seconds) * 1e3, 3
+        ) if stats.swap_seconds else 0.0,
+        "reoptimize_seconds": [
+            round(s, 3) for s in stats.reoptimize_seconds
+        ],
+        "under_reoptimize_pps": round(
+            sum(under) / len(under), 1
+        ) if under else None,
+        "stages": [
+            [event.stages_before, event.stages_after]
+            for event in stats.events
+        ],
+    }
+
+
+def render_serve(sync: dict, asynchronous: dict = None) -> str:
+    counts = sync["counts"]
+    lines = [
+        f"P2GO serve under drift ({counts['packets_in']} packets, "
+        f"window {sync['window']}, tolerance {sync['tolerance']:.0%})",
+        f"  sync  (workers=0): {sync['wall_seconds']:>7.2f} s at "
+        f"{sync['packets_per_second']:>8,.0f} pkt/s   "
+        f"{counts['drift_alerts']} drift + "
+        f"{counts['combination_alerts']} combination alerts -> "
+        f"{counts['reoptimizations']} cycles -> "
+        f"{counts['swaps']} swaps, "
+        f"{counts['rejected_promotions']} rejected",
+        f"  swap latency:      {sync['swap_latency_ms']:>7.2f} ms mean, "
+        f"{sync['swap_latency_max_ms']:.2f} ms max",
+        f"  misprocessed:      {counts['misprocessed']:>7d} "
+        f"(dropped by policy: {counts['packets_dropped']})",
+    ]
+    if asynchronous is not None:
+        a_counts = asynchronous["counts"]
+        under = asynchronous["under_reoptimize_pps"]
+        lines.append(
+            f"  async (workers=1): {asynchronous['wall_seconds']:>7.2f} s"
+            f" at {asynchronous['packets_per_second']:>8,.0f} pkt/s   "
+            f"{a_counts['swaps']} swaps, "
+            f"{a_counts['misprocessed']} misprocessed"
+        )
+        if under is not None:
+            lines.append(
+                f"  under reoptimize:  {under:>7,.0f} pkt/s ingest while "
+                "a cycle was in flight (traffic kept flowing)"
+            )
+    return "\n".join(lines)
+
+
+def _check_invariants(measured: dict) -> str:
+    """The acceptance bars; returns an error string or ''."""
+    counts = measured["counts"]
+    if counts["packets_processed"] != counts["packets_in"]:
+        return (
+            f"ingested {counts['packets_in']} packets but processed "
+            f"{counts['packets_processed']} — the daemon lost packets"
+        )
+    if counts["misprocessed"]:
+        return (
+            f"{counts['misprocessed']} packets were misprocessed — the "
+            "serving switch disagreed with the reference program"
+        )
+    if counts["swaps"] < 1:
+        return (
+            "the drift scenario completed no promotion: no full "
+            "detect -> reoptimize -> swap cycle happened"
+        )
+    return ""
+
+
+def test_serve_bench(record):
+    """The serve acceptance bars on the full scenario: a complete
+    drift -> swap cycle, zero misprocessed packets, traffic flowing
+    during async re-optimization."""
+    import os
+
+    sync = measure_serve(**FULL)
+    asynchronous = measure_serve(**FULL, workers=1)
+    record("serve_bench", render_serve(sync, asynchronous))
+    assert _check_invariants(sync) == ""
+    assert asynchronous["counts"]["misprocessed"] == 0
+    assert asynchronous["counts"]["swaps"] >= 1
+    if os.environ.get("P2GO_WRITE_BASELINE") == "1":
+        write_baseline()
+
+
+def write_baseline() -> dict:
+    """Measure both scenario sizes and refresh BENCH_serve.json."""
+    baseline = {
+        "full": measure_serve(**FULL),
+        "full_async": measure_serve(**FULL, workers=1),
+        "quick": measure_serve(**QUICK),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+# ----------------------------------------------------------------------
+# Quick mode: dependency-free CI gate (no pytest / pytest-benchmark).
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Serve-under-drift benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fixed-seed scenario; fail on a missing drift->swap "
+        "cycle, on any misprocessed packet, or on sync-mode counter "
+        "drift vs the committed BENCH_serve.json (timings are printed "
+        "but never gate)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh BENCH_serve.json with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        baseline = write_baseline()
+        print(render_serve(baseline["full"], baseline["full_async"]))
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.quick:
+        measured = measure_serve(**QUICK)
+        print(render_serve(measured))
+    else:
+        measured = measure_serve(**FULL)
+        asynchronous = measure_serve(**FULL, workers=1)
+        print(render_serve(measured, asynchronous))
+        error = _check_invariants(asynchronous)
+        if error:
+            print(f"FAIL (async): {error}")
+            return 1
+
+    error = _check_invariants(measured)
+    if error:
+        print(f"FAIL: {error}")
+        return 1
+
+    if args.quick:
+        if not BASELINE_PATH.exists():
+            print(f"FAIL: committed baseline {BASELINE_PATH} is missing")
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())["quick"]
+        if measured["counts"] != baseline["counts"]:
+            print(
+                "FAIL: sync-mode counters drifted from the committed "
+                f"baseline: {measured['counts']} != {baseline['counts']}"
+            )
+            return 1
+        print(
+            f"  baseline:          {baseline['wall_seconds']:>7.2f} s, "
+            f"swap {baseline['swap_latency_ms']:.2f} ms mean "
+            "(informational — the gate is counters-only)"
+        )
+        print("OK: full drift->swap cycle, counters match the baseline")
+    else:
+        print("OK: full drift->swap cycle with zero misprocessed packets")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,19 @@ Commands:
   layer: per-switch results identical to independent ``optimize``
   runs, cross-switch probes answered from the shared store, in-flight
   duplicates deduped through store leases).
+* ``serve [PROGRAM] [--config CFG] [--trace PCAP]
+  [--feed generator|trace|lines|socket] [--max-packets N]
+  [--duration S] [--window N] [--tolerance F] [--phases 2,3]
+  [--workers N] [--store PATH | --no-store] [--json FILE]
+  [--report FILE]`` — the continuous-optimization daemon: optimize,
+  serve packets from the feed, re-optimize warm on drift alerts, and
+  atomically swap in each re-optimized program once the equivalence
+  gate passes on the recent window.  Without ``PROGRAM`` it serves
+  the built-in example firewall; ``--feed generator`` (the default)
+  plays the scripted drift scenario (steady mix, then a DNS flood).
+  ``--workers 0`` re-optimizes inline (deterministic counters — the
+  CI gate's mode); ``--workers N`` re-optimizes in the background
+  while traffic keeps flowing.
 * ``demo NAME`` — run a built-in evaluation scenario end to end.
 * ``fuzz [--seed N] [--iterations N] [--time-budget S] [--axes a,b]
   [--shrink/--no-shrink] [--repro-dir DIR]`` — seeded differential
@@ -302,6 +315,107 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.report import render_serve_report
+    from repro.core.serve import (
+        ContinuousOptimizer,
+        GeneratorFeed,
+        LineFeed,
+        SocketFeed,
+        TraceFeed,
+    )
+
+    if args.program:
+        program = load_program(args.program)
+        config = load_config(args.config)
+        target = load_target(args.target)
+        if not args.trace:
+            print(
+                "error: --trace (the baseline optimization trace) is "
+                "required with an explicit program",
+                file=sys.stderr,
+            )
+            return 2
+        baseline = load_trace(args.trace)
+        if args.feed == "generator":
+            print(
+                "error: --feed generator scripts the built-in example "
+                "firewall's drift scenario; use --feed trace/lines/"
+                "socket with an explicit program",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        from repro.programs import example_firewall
+
+        program = example_firewall.build_program()
+        config = example_firewall.runtime_config()
+        target = example_firewall.TARGET
+        baseline = example_firewall.make_trace(
+            args.baseline_packets, seed=args.seed
+        )
+
+    if args.feed == "generator":
+        feed = GeneratorFeed.firewall_drift(
+            total=args.max_packets if args.max_packets else 3000,
+            seed=args.seed,
+            shift_at=args.shift_at,
+        )
+    elif args.feed == "trace":
+        replay = (
+            load_trace(args.feed_trace) if args.feed_trace else baseline
+        )
+        feed = TraceFeed(replay, repeat=args.repeat)
+    elif args.feed == "lines":
+        if not args.lines:
+            print("error: --feed lines requires --lines FILE ('-' for "
+                  "stdin)", file=sys.stderr)
+            return 2
+        feed = LineFeed(
+            sys.stdin if args.lines == "-" else args.lines
+        )
+    else:  # socket
+        host, _, port = args.listen.rpartition(":")
+        feed = SocketFeed(host or "127.0.0.1", int(port))
+        print(
+            "listening on {}:{} (line format: '<hex packet> "
+            "[ingress_port]')".format(*feed.address)
+        )
+
+    store = False if args.no_store else args.store
+    optimizer = ContinuousOptimizer(
+        program,
+        config,
+        baseline,
+        target,
+        phases=tuple(int(p) for p in args.phases.split(",")),
+        window=args.window,
+        hit_rate_tolerance=args.tolerance,
+        store=store,  # None defers to $P2GO_STORE
+        workers=args.workers,
+        log=print if not args.quiet else None,
+    )
+    result = optimizer.run(
+        feed, max_packets=args.max_packets, duration=args.duration
+    )
+    report = render_serve_report(result)
+    print(report)
+    if args.report:
+        Path(args.report).write_text(report + "\n")
+        print(f"serve report written to {args.report}")
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(result.stats.as_dict(), indent=2) + "\n"
+        )
+        print(f"serve stats written to {args.json}")
+    if args.output:
+        from repro.p4.dsl import print_program as print_dsl
+
+        Path(args.output).write_text(print_dsl(result.program))
+        print(f"final serving program written to {args.output}")
+    return 0 if result.stats.misprocessed == 0 else 1
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     from repro.programs import (
         cgnat,
@@ -557,6 +671,116 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the aggregate + per-switch summary as JSON",
     )
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="continuous-optimization daemon: serve, monitor, "
+        "re-optimize on drift, equivalence-gate, swap",
+    )
+    p_serve.add_argument(
+        "program", nargs="?", default=None,
+        help="P4 DSL file (default: the built-in example firewall)",
+    )
+    p_serve.add_argument("--config", help="runtime config JSON")
+    p_serve.add_argument(
+        "--trace",
+        help="baseline optimization trace (pcap); required with an "
+        "explicit program",
+    )
+    p_serve.add_argument("--target", help="target model JSON")
+    p_serve.add_argument(
+        "--feed", choices=("generator", "trace", "lines", "socket"),
+        default="generator",
+        help="packet source: the scripted drift scenario (default, "
+        "built-in program only), a pcap replay, newline-framed hex "
+        "lines, or a TCP socket speaking the line format",
+    )
+    p_serve.add_argument(
+        "--feed-trace", metavar="PCAP",
+        help="pcap to replay with --feed trace (default: the baseline "
+        "trace)",
+    )
+    p_serve.add_argument(
+        "--repeat", type=int, default=1,
+        help="times --feed trace replays its pcap (default 1)",
+    )
+    p_serve.add_argument(
+        "--lines", metavar="FILE",
+        help="line-feed source file, '-' for stdin (--feed lines)",
+    )
+    p_serve.add_argument(
+        "--listen", metavar="HOST:PORT", default="127.0.0.1:0",
+        help="socket-feed bind address (--feed socket; port 0 picks a "
+        "free port and prints it)",
+    )
+    p_serve.add_argument(
+        "--max-packets", type=int, default=None,
+        help="stop after serving this many packets (also sizes the "
+        "generator feed's scenario; default: serve until the feed "
+        "ends)",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="stop after this much serving time",
+    )
+    p_serve.add_argument(
+        "--window", type=int, default=1000,
+        help="sliding drift window in packets — also the re-optimize "
+        "and gate trace length (default 1000)",
+    )
+    p_serve.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="windowed hit-rate drift tolerance (default 0.10)",
+    )
+    p_serve.add_argument(
+        "--phases", default="2,3",
+        help="phases each (re-)optimization runs (default 2,3: the "
+        "strict promotion gate rejects phase-4 offloads by design)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="0: re-optimize inline in the ingest loop (deterministic "
+        "counters); N>=1: re-optimize in a worker thread while "
+        "traffic keeps flowing, probing candidates with N workers "
+        "(default 1)",
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=0,
+        help="generator-feed and baseline-trace seed (default 0)",
+    )
+    p_serve.add_argument(
+        "--shift-at", type=float, default=0.5,
+        help="fraction of the generator scenario after which the "
+        "traffic mix shifts (default 0.5)",
+    )
+    p_serve.add_argument(
+        "--baseline-packets", type=int, default=4000,
+        help="built-in baseline trace length (default 4000)",
+    )
+    p_serve.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="persistent session store warm-starting every "
+        "re-optimization (default: $P2GO_STORE, then no store)",
+    )
+    p_serve.add_argument(
+        "--no-store", action="store_true",
+        help="memory-only serving even when $P2GO_STORE is set",
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-event log lines (the report still prints)",
+    )
+    p_serve.add_argument("--report", help="write the serve report here")
+    p_serve.add_argument(
+        "--json", metavar="FILE",
+        help="write the serve stats (counters, latencies, events) as "
+        "JSON",
+    )
+    p_serve.add_argument(
+        "-o", "--output",
+        help="write the final serving program's DSL here",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_demo = sub.add_parser("demo", help="run a built-in scenario")
     p_demo.add_argument("name")

@@ -39,6 +39,19 @@ _EXPORTS = {
     "build_fabric": "fleet",
     "run_fleet": "fleet",
     "render_fleet_report": "report",
+    "ContinuousOptimizer": "serve",
+    "FeedSource": "serve",
+    "GeneratorFeed": "serve",
+    "LineFeed": "serve",
+    "ServeResult": "serve",
+    "ServeStats": "serve",
+    "SocketFeed": "serve",
+    "SwapEvent": "serve",
+    "TraceFeed": "serve",
+    "format_packet_line": "serve",
+    "parse_packet_line": "serve",
+    "serve_forever": "serve",
+    "render_serve_report": "report",
     "PassManager": "passes",
     "PassResult": "passes",
     "Phase": "observations",

@@ -105,11 +105,11 @@ class DriftDetector:
 
         if self.offload_tables and self.offload_budget is not None:
             # Redirected traffic = packets that traverse any offloaded
-            # table in the original semantics.
-            redirect = max(
-                (fresh.apply_rate(t) for t in self.offload_tables),
-                default=0.0,
-            )
+            # table in the original semantics — the union over packets.
+            # A per-table max undercounts when offloaded tables are
+            # reached by disjoint packet sets (two tables each seeing
+            # 30% disjoint traffic redirect 60%, not 30%).
+            redirect = fresh.traversal_rate(self.offload_tables)
             if redirect > self.offload_budget:
                 report.findings.append(
                     DriftFinding(

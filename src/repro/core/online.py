@@ -144,12 +144,16 @@ class OnlineProfiler:
         for table in hit_tables:
             self._hit_counts[table] = self._hit_counts.get(table, 0) + 1
 
-        # Alert on never-before-seen action combinations.
+        # Alert on never-before-seen action combinations.  Combinations
+        # are marked seen only when the alert condition is actually
+        # evaluated on real multi-table hits: a combination first seen on
+        # a packet where only one table hit must not permanently suppress
+        # a later genuine multi-hit sighting of the same pairs.
         if self.baseline is not None and len(pairs) > 1:
-            if pairs not in self._seen_combinations:
-                self._seen_combinations.add(pairs)
-                hits_only = {p for p in pairs if p[0] in hit_tables}
-                if len({p[0] for p in hits_only}) > 1:
+            hits_only = {p for p in pairs if p[0] in hit_tables}
+            if len({p[0] for p in hits_only}) > 1:
+                if pairs not in self._seen_combinations:
+                    self._seen_combinations.add(pairs)
                     self._emit(
                         OnlineAlert(
                             kind=AlertKind.NEW_ACTION_COMBINATION,
@@ -214,16 +218,20 @@ class OnlineProfiler:
         trace = list(trace)
         if self.session is not None:
             # Re-keys the profile memo + disk hydration on the drifted
-            # traffic before any probe runs.
-            self.session.trace = trace
-            return P2GO(
-                self.program,
-                self.config,
-                trace,
-                self.session.target,
-                session=self.session,
-                **p2go_kwargs,
-            ).run()
+            # traffic before any probe runs.  The guard restores the
+            # prior trace if the re-run raises: a shared session must
+            # not stay keyed on the drifted traffic for subsequent
+            # callers when no re-optimization actually landed.
+            with self.session.state_guard():
+                self.session.trace = trace
+                return P2GO(
+                    self.program,
+                    self.config,
+                    trace,
+                    self.session.target,
+                    session=self.session,
+                    **p2go_kwargs,
+                ).run()
         return P2GO(
             self.program,
             self.config,

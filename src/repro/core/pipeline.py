@@ -253,26 +253,32 @@ class SwitchRun:
         (attaching ``store`` when given).  An injected session is
         adopted instead — it stays open afterwards, with this run's
         executed probes flushed so another process can warm-start —
-        and ``store`` is ignored in favour of the session's own.
+        and ``store`` is ignored in favour of the session's own.  If an
+        adopted run raises, the session's (program, config, trace) are
+        restored to their pre-adoption state: a failed re-run (e.g. a
+        drift-triggered ``reoptimize``) must not leave a shared session
+        re-keyed on this run's trace for subsequent callers.
         """
         passes = self.build_passes()
-        ctx = session
-        owns_session = ctx is None
-        if ctx is None:
+        if session is None:
             ctx = self.create_session(store=store)
-        else:
-            self.adopt_session(ctx)
-        try:
-            result = self._run_phases(ctx, passes)
-        finally:
-            if owns_session:
+            try:
+                result = self._run_phases(ctx, passes)
+            finally:
                 # Flush store write-backs and release worker pools; the
                 # result keeps the counters.
                 ctx.close()
-            else:
-                # A shared session stays open, but this run's executed
-                # probes persist now so another process can warm-start.
-                ctx.flush_store()
+        else:
+            ctx = session
+            with ctx.state_guard():
+                self.adopt_session(ctx)
+                try:
+                    result = self._run_phases(ctx, passes)
+                finally:
+                    # A shared session stays open, but this run's
+                    # executed probes persist now so another process
+                    # can warm-start.
+                    ctx.flush_store()
         if ctx.store is not None:
             result.store_stats = ctx.store.stats()
         return result

@@ -46,6 +46,14 @@ class Profile:
     #: Per-packet forwarding decisions (egress, dropped, to_controller) —
     #: used by behaviour-preservation checks.
     decisions: Tuple[Tuple[int, bool, bool], ...] = ()
+    #: Distinct per-packet applied-table sets -> packet counts.  Per-table
+    #: apply/hit counts cannot answer "how many packets traversed *any* of
+    #: these tables" when the tables are reached by disjoint packet sets
+    #: (summing double-counts, taking the max undercounts); the drift
+    #: detector's controller-load re-check needs the true union, so the
+    #: profiler keeps the set-valued aggregate (bounded by the number of
+    #: distinct table combinations the control flow can produce).
+    apply_sets: Dict[FrozenSet[str], int] = dc_field(default_factory=dict)
 
     def hit_rate(self, table: str) -> float:
         """Fraction of all packets that *matched* the table."""
@@ -58,6 +66,20 @@ class Profile:
         if self.total_packets == 0:
             return 0.0
         return self.apply_counts.get(table, 0) / self.total_packets
+
+    def traversal_rate(self, tables) -> float:
+        """Fraction of all packets that traversed *any* of ``tables``
+        (the union over packets, not a per-table aggregate — disjoint
+        packet sets reaching different tables are each counted once)."""
+        if self.total_packets == 0:
+            return 0.0
+        wanted = frozenset(tables)
+        covered = sum(
+            count
+            for applied, count in self.apply_sets.items()
+            if applied & wanted
+        )
+        return covered / self.total_packets
 
     def actions_coapplied(self, a: ActionPair, b: ActionPair) -> bool:
         """Were both actions ever applied to the same packet?"""
@@ -192,6 +214,7 @@ class Profiler:
         groups: Set[FrozenSet[ActionPair]] = set()
         hit_pairs: Set[ActionPair] = set()
         decisions: List[Tuple[int, bool, bool]] = []
+        apply_sets: Dict[FrozenSet[str], int] = {}
 
         for result in results:
             pairs = instrumented.decode_result_bits(result.headers)
@@ -211,6 +234,9 @@ class Profiler:
                 action_counts[pair] = action_counts.get(pair, 0) + 1
                 if pair[0] in hit_tables:
                     hit_pairs.add(pair)
+            if result.steps:
+                applied = frozenset(step.table for step in result.steps)
+                apply_sets[applied] = apply_sets.get(applied, 0) + 1
             decisions.append(result.forwarding_decision())
 
         profile = Profile(
@@ -221,6 +247,7 @@ class Profiler:
             action_counts=action_counts,
             nonexclusive_sets=groups,
             decisions=tuple(decisions),
+            apply_sets=apply_sets,
         )
         profile._hit_pairs = hit_pairs
         return ProfilingRun(
@@ -313,6 +340,10 @@ class Profiler:
                 )
             merged.nonexclusive_sets |= profile.nonexclusive_sets
             merged._hit_pairs |= profile._hit_pairs
+            for applied, n in profile.apply_sets.items():
+                merged.apply_sets[applied] = (
+                    merged.apply_sets.get(applied, 0) + n
+                )
             for local_i, original_i in enumerate(indices):
                 decisions[original_i] = profile.decisions[local_i]
             perf.packets += shard_perf.packets

@@ -17,6 +17,7 @@ from repro.core.pipeline import P2GOResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet -> report)
     from repro.core.fleet import FleetResult
+    from repro.core.serve import ServeResult
 
 
 def stage_table(result: P2GOResult) -> str:
@@ -160,6 +161,72 @@ def summary_line(result: P2GOResult) -> str:
         f"{result.original_program.name}: stages {path} "
         f"({len(result.observations.optimizations())} optimizations)"
     )
+
+
+def render_serve_report(serve: "ServeResult") -> str:
+    """The continuous-optimization daemon's end-of-run report.
+
+    The operator-facing half of :mod:`repro.core.serve`: traffic
+    volume and throughput, the alert/reaction funnel (alerts ->
+    re-optimizations -> gate verdicts -> swaps), per-cycle detail, and
+    the zero-misprocessed invariant front and centre.
+    """
+    stats = serve.stats
+    lines: List[str] = [
+        "=" * 72,
+        f"P2GO serve report — {serve.initial.original_program.name}",
+        "=" * 72,
+        "",
+        f"packets: {stats.packets_in} in, "
+        f"{stats.packets_processed} processed, "
+        f"{stats.packets_dropped} dropped by policy, "
+        f"{stats.misprocessed} misprocessed",
+        f"throughput: {stats.packets_per_second:,.0f} packets/s over "
+        f"{stats.elapsed_seconds:.2f}s",
+        "",
+        f"alerts: {stats.drift_alerts} hit-rate drift, "
+        f"{stats.combination_alerts} new action combinations "
+        f"({stats.alerts_coalesced} coalesced into pending cycles)",
+        f"cycles: {stats.reoptimizations} re-optimizations "
+        f"({stats.failed_reoptimizations} failed), "
+        f"{stats.swaps} promoted swaps, "
+        f"{stats.rejected_promotions} rejected by the equivalence gate",
+    ]
+    if stats.swap_seconds:
+        lines.append(
+            f"swap latency: {stats.swap_latency * 1e3:.2f} ms mean, "
+            f"{max(stats.swap_seconds) * 1e3:.2f} ms max"
+        )
+    if stats.under_reoptimize_pps:
+        mean_pps = sum(stats.under_reoptimize_pps) / len(
+            stats.under_reoptimize_pps
+        )
+        lines.append(
+            f"throughput while re-optimizing: {mean_pps:,.0f} packets/s "
+            f"({len(stats.under_reoptimize_pps)} cycle(s) — traffic "
+            "kept flowing)"
+        )
+    if stats.events:
+        lines.append("")
+        lines.append("cycles:")
+        for i, event in enumerate(stats.events, 1):
+            verdict = "promoted" if event.promoted else "rejected"
+            lines.append(
+                f"  #{i} at packet {event.packet_index}: {verdict}; "
+                f"stages {event.stages_before} -> {event.stages_after}, "
+                f"reoptimize {event.reoptimize_seconds:.2f}s, "
+                f"gate {event.gate_mismatches}/{event.gate_packets} "
+                f"mismatches, swap {event.swap_seconds * 1e3:.2f} ms"
+            )
+    lines.append("")
+    lines.append(
+        f"serving: {serve.program.name} at "
+        f"{serve.current.stages_after} stages "
+        f"(started at {serve.initial.stages_before})"
+    )
+    if serve.session_counters is not None:
+        lines.append("session: " + serve.session_counters.render())
+    return "\n".join(lines)
 
 
 def render_fleet_report(fleet: "FleetResult") -> str:

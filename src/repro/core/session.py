@@ -139,6 +139,7 @@ import hashlib
 import os
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -476,6 +477,27 @@ class OptimizationContext:
         """Content fingerprint of the current trace."""
         return self._trace_key
 
+    @contextmanager
+    def state_guard(self):
+        """Restore the session's (program, config, trace) if the body
+        raises.
+
+        The re-key hook for shared-session re-runs: a drift-triggered
+        ``reoptimize`` (or an adopted :class:`~repro.core.pipeline.\
+        SwitchRun`) swaps the trace before probing, and a run that dies
+        mid-phase must not leave the session keyed on the new traffic
+        for subsequent callers.  On success the new state stays — that
+        *is* the re-key.  Trace restoration goes through the setter, so
+        miss-cache re-keying applies on the way back too.
+        """
+        prior = (self.program, self.config, self._trace)
+        try:
+            yield self
+        except BaseException:
+            self.program, self.config = prior[0], prior[1]
+            self.trace = prior[2]
+            raise
+
     # ------------------------------------------------------------------
     # Content keys
 
@@ -540,9 +562,23 @@ class OptimizationContext:
         a lease — duplicated work beats a wedged fleet.
         """
         deadline = time.monotonic() + self.store.lease_ttl
+        load = (
+            self.store.load_compile
+            if kind == "compile"
+            else self.store.load_profile
+        )
         while True:
             lease = self.store.claim_probe(kind, key)
             if lease is not None:
+                # Re-check under the lease: the entry may have landed
+                # between our disk miss and this claim (the writer
+                # released its lease just before we won the race).
+                # Executing here would break the exactly-once guarantee
+                # the fleet bench's deterministic counters rest on.
+                value = load(key)
+                if value is not None:
+                    lease.release()
+                    return value
                 self._held_leases[(kind, key)] = lease
                 return None
             value = self.store.wait_for_probe(kind, key, deadline=deadline)

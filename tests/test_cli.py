@@ -362,3 +362,77 @@ class TestFleet:
             ["fleet", "--size", "1", "--families", "no_such_family"]
         ) == 2
         assert "unknown program family" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_generator_scenario_completes_a_swap_cycle(
+        self, tmp_path, capsys
+    ):
+        """The acceptance scenario end to end: the built-in firewall,
+        a scripted drift feed, at least one detect -> warm reoptimize
+        -> equivalence-gated swap, zero misprocessed packets."""
+        stats_path = tmp_path / "stats.json"
+        assert main(
+            [
+                "serve",
+                "--feed", "generator",
+                "--max-packets", "1200",
+                "--baseline-packets", "2000",
+                "--window", "300",
+                "--tolerance", "0.15",
+                "--workers", "0",
+                "--quiet",
+                "--json", str(stats_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P2GO serve report" in out
+        assert "promoted" in out
+        stats = json.loads(stats_path.read_text())
+        assert stats["packets_in"] == 1200
+        assert stats["packets_processed"] == 1200
+        assert stats["misprocessed"] == 0
+        assert stats["swaps"] >= 1
+        assert stats["events"][0]["promoted"] is True
+        assert stats["events"][0]["swap_seconds"] > 0
+
+    def test_trace_feed_with_explicit_program(
+        self, toy_files, tmp_path, capsys
+    ):
+        prog_path, config_path, trace_path = toy_files
+        out_path = tmp_path / "served.p4"
+        assert main(
+            [
+                "serve", str(prog_path),
+                "--config", str(config_path),
+                "--trace", str(trace_path),
+                "--feed", "trace",
+                "--repeat", "4",
+                "--window", "6",
+                "--workers", "0",
+                "--quiet",
+                "-o", str(out_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P2GO serve report" in out
+        assert "misprocessed" in out
+        assert out_path.exists()
+
+    def test_explicit_program_requires_trace(self, toy_files, capsys):
+        prog_path, config_path, _trace = toy_files
+        assert main(
+            ["serve", str(prog_path), "--config", str(config_path),
+             "--feed", "trace"]
+        ) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_generator_feed_needs_builtin_program(
+        self, toy_files, capsys
+    ):
+        prog_path, config_path, trace_path = toy_files
+        assert main(
+            ["serve", str(prog_path), "--config", str(config_path),
+             "--trace", str(trace_path), "--feed", "generator"]
+        ) == 2
+        assert "feed generator" in capsys.readouterr().err

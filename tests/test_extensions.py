@@ -163,6 +163,56 @@ class TestDriftDetection:
         assert report.drifted
         assert "controller_overload" in report.render()
 
+    def test_controller_overload_counts_union_of_disjoint_tables(
+        self, firewall_program, firewall_config, firewall_profile
+    ):
+        """Two offloaded tables each traversed by 30% *disjoint*
+        traffic must trip a 50% budget: redirected traffic is the
+        union of packets reaching any offloaded table.  The old
+        per-table maximum saw 30% twice and reported no overload."""
+        import random
+
+        from repro.traffic.generators import (
+            dhcp_stream,
+            dns_stream,
+            interleave,
+            tcp_background,
+        )
+
+        rng = random.Random(7)
+        dhcp = dhcp_stream(
+            90, rng,
+            ingress_port=example_firewall.UNTRUSTED_INGRESS_PORTS[0],
+        )
+        dns = dns_stream(
+            example_firewall.HEAVY_DNS_SRC,
+            example_firewall.HEAVY_DNS_DST,
+            90,
+        )
+        fresh = interleave(rng, dhcp, dns, tcp_background(120, rng))
+
+        offload_tables = ("ACL_DHCP", "Sketch_1")
+        budget = 0.5
+        # The premise: disjoint 30% slices, each alone under budget.
+        profile = Profiler(firewall_program, firewall_config).profile(
+            fresh
+        )
+        for table in offload_tables:
+            assert profile.traversal_rate([table]) <= budget
+        assert profile.traversal_rate(offload_tables) > budget
+
+        detector = DriftDetector(
+            firewall_program,
+            firewall_config,
+            firewall_profile,
+            offload_tables=offload_tables,
+            offload_budget=budget,
+            hit_rate_tolerance=1.1,  # isolate the overload check
+        )
+        report = detector.check(fresh)
+        kinds = {f.kind for f in report.findings}
+        assert DriftKind.CONTROLLER_OVERLOAD in kinds
+
     def test_hit_rate_shift_detected(
         self, firewall_program, firewall_config, firewall_profile
     ):

@@ -404,6 +404,10 @@ def test_sharded_profile_identical_to_serial():
     assert serial.same_behavior_as(sharded), serial.behavior_diff(sharded)
     assert serial.decisions == sharded.decisions
     assert serial._hit_pairs == sharded._hit_pairs
+    # apply_sets is deliberately outside same_behavior_as (it feeds the
+    # drift detector's traversal union, not the optimizer) — pin the
+    # shard merge explicitly.
+    assert serial.apply_sets == sharded.apply_sets
     assert perf.packets == len(trace)
 
 

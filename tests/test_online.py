@@ -1,11 +1,16 @@
 """Tests for §6's online profiler."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.online import AlertKind, OnlineProfiler
-from repro.packets.craft import dhcp_packet, udp_packet
+from repro.core.profiler import profile_program
+from repro.core.session import OptimizationContext
+from repro.exceptions import OptimizationError
+from repro.packets.craft import dhcp_packet, tcp_packet, udp_packet
 from repro.programs import example_firewall as fw
 from repro.traffic.generators import dns_stream
+from tests.conftest import build_toy_program, toy_config
 
 
 @pytest.fixture
@@ -136,3 +141,147 @@ class TestAlerts:
         for pkt in dns_stream(fw.HEAVY_DNS_SRC, fw.HEAVY_DNS_DST, 100):
             online.process(pkt)
         assert online.alerts == []
+
+    def test_single_hit_sighting_does_not_suppress_later_multi_hit(self):
+        """A combination first decoded on a packet where only ONE table
+        actually hit (the other pair came from a default-action miss)
+        must not be marked seen: the identical pair set arriving later
+        as a genuine multi-table hit still has to alert."""
+        program = build_toy_program()
+        config = toy_config()
+        # Make the ACL's *default* the same action its entry fires, so
+        # a miss sighting and a genuine hit decode to identical pairs.
+        config.set_default("acl", "deny")
+        # Baseline traffic never applies the ACL (no UDP), so the
+        # {fib.fwd, acl.deny} combination is unseen at start.
+        baseline = profile_program(
+            program,
+            config,
+            [tcp_packet("1.1.1.1", "10.0.0.9", 5, 80)] * 4,
+        )
+        online = OnlineProfiler(
+            program, config, baseline=baseline, window=100
+        )
+
+        # Sighting 1: acl applied but *misses* — (acl, deny) comes from
+        # the default action, only fib hit.  Not alert-worthy, and must
+        # not poison the seen set.
+        online.process(udp_packet("1.1.1.1", "10.0.0.9", 5, 9999))
+        assert online.alerts == []
+
+        # Sighting 2: the same pair set, now from a genuine two-table
+        # hit (the acl entry matched).  This is the first real
+        # co-firing and must alert.
+        online.process(udp_packet("1.1.1.1", "10.0.0.9", 5, 53))
+        kinds = [a.kind for a in online.alerts]
+        assert kinds == [AlertKind.NEW_ACTION_COMBINATION]
+        assert "acl" in online.alerts[0].subject
+        assert "fib" in online.alerts[0].subject
+
+
+class TestReoptimizeStateGuard:
+    """A shared session must come back unscathed when a re-run dies."""
+
+    @pytest.fixture
+    def shared(self, firewall_program, firewall_config):
+        baseline = fw.make_trace(300, seed=0)
+        session = OptimizationContext(
+            firewall_program, firewall_config, baseline, fw.TARGET
+        )
+        online = OnlineProfiler(
+            firewall_program, firewall_config, session=session
+        )
+        yield session, online, baseline
+        session.close()
+
+    def test_restores_trace_on_invalid_phases(self, shared):
+        session, online, baseline = shared
+        prior_key = session.trace_key
+        with pytest.raises(ValueError):
+            online.reoptimize(fw.make_trace(200, seed=3), phases=(9,))
+        assert session.trace == baseline
+        assert session.trace_key == prior_key
+
+    def test_restores_state_on_midphase_failure(
+        self, shared, firewall_program, firewall_config, monkeypatch
+    ):
+        from repro.core.phase_dependencies import DependencyRemovalPass
+
+        def boom(self, *args, **kwargs):
+            raise OptimizationError("injected mid-phase failure")
+
+        monkeypatch.setattr(DependencyRemovalPass, "run", boom)
+        session, online, baseline = shared
+        prior_key = session.trace_key
+        with pytest.raises(OptimizationError):
+            online.reoptimize(fw.make_trace(200, seed=3), phases=(2,))
+        assert session.trace == baseline
+        assert session.trace_key == prior_key
+        assert session.program is firewall_program
+        assert session.config is firewall_config
+
+    def test_success_rekeys_session_on_new_trace(self, shared):
+        session, online, _baseline = shared
+        drifted = fw.make_trace(200, seed=3)
+        result = online.reoptimize(drifted, phases=(2,))
+        assert result.optimized_program is not None
+        # On success the new state stays — that *is* the re-key.
+        assert session.trace == drifted
+
+
+class _ToyTraffic:
+    """Packet kinds with known per-packet hit sets on the toy program."""
+
+    PACKETS = {
+        "fib_only": udp_packet("1.1.1.1", "10.0.0.9", 5, 9999),
+        "fib_acl": udp_packet("1.1.1.1", "10.0.0.9", 5, 53),
+        "no_udp": tcp_packet("1.1.1.1", "10.0.0.9", 5, 80),
+    }
+    HITS = {
+        "fib_only": frozenset({"fib"}),
+        "fib_acl": frozenset({"fib", "acl"}),
+        "no_udp": frozenset({"fib"}),
+    }
+
+
+class TestWindowAccountingProperties:
+    """The streaming ``_hit_counts`` bookkeeping must always equal a
+    brute-force recount over the last ``window`` packets."""
+
+    program = build_toy_program()
+    config = toy_config()
+
+    @given(
+        kinds=st.lists(
+            st.sampled_from(sorted(_ToyTraffic.PACKETS)),
+            min_size=1,
+            max_size=60,
+        ),
+        window=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hit_counts_match_brute_force_recount(self, kinds, window):
+        online = OnlineProfiler(
+            self.program, self.config, window=window
+        )
+        for kind in kinds:
+            online.process(_ToyTraffic.PACKETS[kind])
+
+        recent = kinds[-window:]
+        expected = {}
+        for kind in recent:
+            for table in _ToyTraffic.HITS[kind]:
+                expected[table] = expected.get(table, 0) + 1
+
+        for table in self.program.tables:
+            assert online._hit_counts.get(table, 0) == expected.get(
+                table, 0
+            )
+            assert online.window_hit_rate(table) == expected.get(
+                table, 0
+            ) / len(recent)
+        # snapshot() is just window_hit_rate over every table.
+        assert online.snapshot() == {
+            table: online.window_hit_rate(table)
+            for table in self.program.tables
+        }

@@ -48,6 +48,19 @@ class TestToyProfile:
     def test_unknown_table_rates_are_zero(self, profile):
         assert profile.hit_rate("ghost") == 0.0
         assert profile.apply_rate("ghost") == 0.0
+        assert profile.traversal_rate(["ghost"]) == 0.0
+
+    def test_apply_sets_partition_the_trace(self, profile):
+        # Every packet lands in exactly one applied-table set.
+        assert sum(profile.apply_sets.values()) == profile.total_packets
+        assert profile.apply_sets[frozenset({"fib", "acl"})] == 4
+
+    def test_traversal_rate_is_union_over_packets(self, profile):
+        assert profile.traversal_rate(["fib"]) == 1.0
+        assert profile.traversal_rate(["acl"]) == 1.0
+        # Union, not sum: every packet traverses both tables once.
+        assert profile.traversal_rate(["fib", "acl"]) == 1.0
+        assert profile.traversal_rate([]) == 0.0
 
 
 class TestFirewallProfile:

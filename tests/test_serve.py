@@ -1,0 +1,336 @@
+"""Tests for the continuous-optimization service (repro/core/serve.py).
+
+The acceptance scenario: a scripted traffic-mix shift mid-feed must
+complete at least one full detect -> warm reoptimize -> equivalence-
+gated swap cycle with zero dropped/misprocessed packets, and post-swap
+alerts must be keyed to the new baseline.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.report import render_serve_report
+from repro.core.serve import (
+    ContinuousOptimizer,
+    GeneratorFeed,
+    LineFeed,
+    SocketFeed,
+    TraceFeed,
+    format_packet_line,
+    parse_packet_line,
+    serve_forever,
+)
+from repro.packets.craft import udp_packet
+from repro.programs import example_firewall as fw
+
+BASELINE_PACKETS = 3000
+SCENARIO_PACKETS = 1600
+WINDOW = 400
+TOLERANCE = 0.15
+
+
+@pytest.fixture(scope="module")
+def drift_serve():
+    """One sync-mode daemon run over the canonical drift scenario.
+
+    Module-scoped: the run is deterministic and every test reads it."""
+    optimizer = ContinuousOptimizer(
+        fw.build_program(),
+        fw.runtime_config(),
+        fw.make_trace(BASELINE_PACKETS, seed=0),
+        fw.TARGET,
+        window=WINDOW,
+        hit_rate_tolerance=TOLERANCE,
+        workers=0,
+    )
+    feed = GeneratorFeed.firewall_drift(
+        total=SCENARIO_PACKETS, seed=0, shift_at=0.5
+    )
+    result = optimizer.run(feed, max_packets=SCENARIO_PACKETS)
+    return optimizer, result
+
+
+class TestDriftScenario:
+    def test_full_cycle_completes(self, drift_serve):
+        """>= 1 detect -> warm reoptimize -> gated swap cycle."""
+        _optimizer, result = drift_serve
+        stats = result.stats
+        assert stats.drift_alerts >= 1
+        assert stats.reoptimizations >= 1
+        assert stats.swaps >= 1
+        assert result.promotions
+        assert len(stats.swap_seconds) == stats.swaps
+        assert all(s > 0 for s in stats.swap_seconds)
+
+    def test_no_dropped_or_misprocessed_packets(self, drift_serve):
+        _optimizer, result = drift_serve
+        stats = result.stats
+        assert stats.packets_in == SCENARIO_PACKETS
+        assert stats.packets_processed == SCENARIO_PACKETS
+        assert stats.misprocessed == 0
+
+    def test_promotions_pass_the_gate(self, drift_serve):
+        _optimizer, result = drift_serve
+        assert result.stats.rejected_promotions == 0
+        for event in result.stats.events:
+            assert event.promoted
+            assert event.gate_mismatches == 0
+            assert event.gate_packets == WINDOW
+
+    def test_serving_program_is_last_promotion(self, drift_serve):
+        _optimizer, result = drift_serve
+        assert result.current is result.promotions[-1]
+        assert result.program is result.current.optimized_program
+        # The service actually optimized something.
+        assert (
+            result.current.stages_after < result.current.stages_before
+        )
+
+    def test_reoptimizations_ran_warm(self, drift_serve):
+        """The shared session answered re-run probes from the memo —
+        strictly fewer executions than calls."""
+        _optimizer, result = drift_serve
+        counters = result.session_counters
+        assert counters.compile_hits > 0
+        assert counters.compile_executions < counters.compile_calls
+
+    def test_post_swap_monitor_keyed_to_new_baseline(self, drift_serve):
+        """After a swap the monitoring side is rebound: a fresh
+        instrumented monitor whose baseline is the *reoptimize-window*
+        profile, with its drift window reset."""
+        optimizer, result = drift_serve
+        monitor = optimizer._monitor
+        # The final monitor was rebuilt at the last swap, not at start:
+        # it has seen only post-swap packets.
+        assert monitor.packets_seen < result.stats.packets_processed
+        # Its baseline is the drift-time observation, not the startup
+        # one: the sketch tables' rates differ by far more than the
+        # serve tolerance (the flood is what triggered the swap).
+        startup = result.initial.initial_profile
+        assert (
+            abs(
+                monitor.baseline.hit_rate("Sketch_1")
+                - startup.hit_rate("Sketch_1")
+            )
+            > TOLERANCE
+        )
+        # And against that new baseline, the continued flood raised no
+        # unresolved drift alert episode on the sketch tables.
+        assert not {"Sketch_1", "Sketch_2", "Sketch_Min"} & set(
+            monitor._drifting
+        )
+
+    def test_report_renders(self, drift_serve):
+        _optimizer, result = drift_serve
+        report = render_serve_report(result)
+        assert "misprocessed" in report
+        assert "promoted" in report
+        assert "swap latency" in report
+        assert str(result.stats.swaps) in report
+
+    def test_stats_as_dict_round_trips_counts(self, drift_serve):
+        _optimizer, result = drift_serve
+        data = result.stats.as_dict()
+        assert data["swaps"] == result.stats.swaps
+        assert data["misprocessed"] == 0
+        assert len(data["events"]) == result.stats.reoptimizations
+        assert data["events"][0]["promoted"] is True
+
+
+class TestPromotionGate:
+    def test_non_equivalent_candidate_rejected(self, monkeypatch):
+        """A re-optimization whose result changes forwarding decisions
+        must be rejected by the gate — the old program keeps serving
+        and no swap is recorded."""
+        from repro.core.online import OnlineProfiler
+
+        def sabotage(self, trace, **kwargs):
+            # A "re-optimization" that would drop every IPv4 packet:
+            # behaviourally wrong, so the gate must refuse it.
+            result = real_reoptimize(self, trace, **kwargs)
+            bad_config = result.final_config.clone()
+            bad_config.entries["IPv4"] = []
+            bad_config.set_default("IPv4", "ipv4_drop", [])
+            result.final_config = bad_config
+            return result
+
+        real_reoptimize = OnlineProfiler.reoptimize
+        monkeypatch.setattr(OnlineProfiler, "reoptimize", sabotage)
+
+        optimizer = ContinuousOptimizer(
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(2000, seed=0),
+            fw.TARGET,
+            window=300,
+            hit_rate_tolerance=TOLERANCE,
+            workers=0,
+        )
+        feed = GeneratorFeed.firewall_drift(
+            total=1200, seed=0, shift_at=0.5
+        )
+        result = optimizer.run(feed, max_packets=1200)
+        stats = result.stats
+        assert stats.reoptimizations >= 1
+        assert stats.rejected_promotions == stats.reoptimizations
+        assert stats.swaps == 0
+        assert result.promotions == []
+        assert result.current is result.initial
+        assert result.program is result.initial.optimized_program
+        assert stats.events and not stats.events[0].promoted
+        assert stats.events[0].gate_mismatches > 0
+        # Rejection never interrupts serving.
+        assert stats.packets_processed == 1200
+        assert stats.misprocessed == 0
+
+
+class TestAsyncMode:
+    def test_traffic_flows_while_reoptimizing(self):
+        """workers >= 1: the feed keeps draining while the worker
+        re-optimizes, and the in-flight cycle is drained at feed end,
+        so the swap still lands."""
+        optimizer = ContinuousOptimizer(
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(2000, seed=0),
+            fw.TARGET,
+            window=300,
+            hit_rate_tolerance=TOLERANCE,
+            workers=1,
+        )
+        feed = GeneratorFeed.firewall_drift(
+            total=1600, seed=0, shift_at=0.4
+        )
+        result = optimizer.run(feed)
+        stats = result.stats
+        assert stats.packets_processed == 1600
+        assert stats.misprocessed == 0
+        assert stats.swaps >= 1
+        # The under-traffic throughput samples exist iff packets were
+        # processed while a cycle was in flight; either way the counts
+        # balance.
+        assert stats.packets_in == stats.packets_processed
+
+
+class TestServeStore:
+    def test_persistent_store_attaches(self, tmp_path):
+        result = serve_forever(
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(2000, seed=0),
+            TraceFeed(fw.make_trace(300, seed=5)),
+            target=fw.TARGET,
+            window=200,
+            workers=0,
+            store=tmp_path / "store",
+            max_packets=300,
+        )
+        assert result.store_stats is not None
+        assert result.store_stats["compile_entries"] > 0
+        assert result.stats.packets_processed == 300
+        assert result.stats.misprocessed == 0
+
+
+class TestFeeds:
+    def test_packet_line_round_trip(self):
+        plain = udp_packet("10.0.0.1", "192.168.1.1", 1234, 53)
+        with_port = (plain, 7)
+        for packet in (plain, with_port):
+            assert parse_packet_line(format_packet_line(packet)) == packet
+
+    def test_parse_skips_blanks_and_comments(self):
+        assert parse_packet_line("") is None
+        assert parse_packet_line("   ") is None
+        assert parse_packet_line("# comment") is None
+
+    def test_trace_feed_repeats(self):
+        trace = [udp_packet("10.0.0.1", "192.168.1.1", 1, 80)] * 3
+        feed = TraceFeed(trace, repeat=2)
+        assert list(feed.packets()) == trace * 2
+        assert "x 2" in feed.describe()
+        with pytest.raises(ValueError):
+            TraceFeed(trace, repeat=0)
+
+    def test_generator_feed_segments(self):
+        feed = GeneratorFeed.firewall_drift(total=200, seed=1)
+        packets = list(feed.packets())
+        assert len(packets) == sum(
+            len(seg) for _name, seg in feed.segments
+        )
+        assert [name for name, _seg in feed.segments] == [
+            "steady", "flood",
+        ]
+        # Deterministic in the seed.
+        again = GeneratorFeed.firewall_drift(total=200, seed=1)
+        assert list(again.packets()) == packets
+        with pytest.raises(ValueError):
+            GeneratorFeed.firewall_drift(total=100, shift_at=1.5)
+
+    def test_line_feed_from_file(self, tmp_path):
+        packets = [
+            udp_packet("10.0.0.1", "192.168.1.1", 1, 80),
+            (udp_packet("10.0.0.2", "192.168.1.2", 2, 53), 4),
+        ]
+        path = tmp_path / "feed.txt"
+        path.write_text(
+            "# header comment\n"
+            + "\n".join(format_packet_line(p) for p in packets)
+            + "\n\n"
+        )
+        assert list(LineFeed(path).packets()) == packets
+        assert list(LineFeed(str(path)).packets()) == packets
+
+    def test_line_feed_from_stream(self):
+        packets = [udp_packet("10.0.0.3", "192.168.1.3", 3, 80)]
+        lines = [format_packet_line(p) + "\n" for p in packets]
+        assert list(LineFeed(iter(lines)).packets()) == packets
+
+    def test_socket_feed_streams_a_connection(self):
+        packets = [
+            udp_packet("10.0.0.1", "192.168.1.1", 1, 80),
+            (udp_packet("10.0.0.2", "192.168.1.2", 2, 53), 9),
+        ]
+        feed = SocketFeed(accept_timeout=10.0)
+        host, port = feed.address
+
+        def writer():
+            import socket
+
+            with socket.create_connection((host, port)) as conn:
+                payload = "".join(
+                    format_packet_line(p) + "\n" for p in packets
+                )
+                conn.sendall(payload.encode())
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        received = list(feed.packets())
+        thread.join(timeout=5)
+        assert received == packets
+
+
+class TestBounds:
+    def test_max_packets_bounds_an_endless_feed(self):
+        optimizer = ContinuousOptimizer(
+            fw.build_program(),
+            fw.runtime_config(),
+            fw.make_trace(2000, seed=0),
+            fw.TARGET,
+            window=200,
+            workers=0,
+        )
+        endless = TraceFeed(fw.make_trace(100, seed=2), repeat=1000)
+        result = optimizer.run(endless, max_packets=250)
+        assert result.stats.packets_in == 250
+        assert result.stats.packets_processed == 250
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousOptimizer(
+                fw.build_program(),
+                fw.runtime_config(),
+                fw.make_trace(100, seed=0),
+                fw.TARGET,
+                workers=-1,
+            )

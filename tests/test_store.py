@@ -614,6 +614,37 @@ class TestProbeLeases:
         assert store.claim_probe("compile", ("b",)) is not None
         assert store.claim_probe("profile", ("a",)) is not None
 
+    def test_claim_rechecks_entry_written_after_miss(self, tmp_path):
+        """TOCTOU regression: an entry that lands between a session's
+        disk miss and its winning lease claim must be served as a disk
+        hit (lease released), never re-executed — the exactly-once
+        guarantee the fleet bench's deterministic counters rest on."""
+        root = tmp_path / "store"
+        writer = OptimizationContext(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET,
+            store=SessionStore(root), lease_probes=True,
+        )
+        writer.compile()  # executes, writes through, releases its lease
+        assert writer.counters.compile_executions == 1
+        writer.close()
+
+        reader = OptimizationContext(
+            build_toy_program(), toy_config(), make_trace(),
+            DEFAULT_TARGET,
+            store=SessionStore(root), lease_probes=True,
+        )
+        key = (reader.program_key(reader.program), reader.target.name)
+        # The race's leftover state, reproduced directly: this session
+        # missed on disk *before* the writer's entry landed, then won
+        # the (now free) lease.  The claim must re-check the entry.
+        value = reader._store_coordinate("compile", key)
+        assert value is not None  # a hit, not an execute-yourself signal
+        assert reader._held_leases == {}
+        # ... and the lease was released, not left to go stale.
+        assert reader.store.claim_probe("compile", key) is not None
+        reader.close()
+
     def test_stale_lease_is_reaped(self, tmp_path):
         dead = SessionStore(tmp_path / "store", lease_ttl=0.05)
         dead.claim_probe("compile", ("k",))  # never released
