@@ -1,0 +1,279 @@
+"""Design-space exploration benchmark: shared-store sweep vs storeless.
+
+ISSUE 10's acceptance bars: a sweep's canonical outcome (per-point
+metrics, frontier, breakpoints) must be independent of the worker count
+and of the store (the store changes who pays for a probe, never the
+answer), and a cold sweep over one shared store must show **cross-point
+probe reuse** — the profile entries every shape of a program shares,
+plus the compile entries points differing only in order/policy share.
+This bench runs one grid both ways:
+
+* **storeless** — every point pays for its own probes, serially: what
+  running each configuration as its own ``p2go optimize`` would cost;
+* **shared** — the same grid through :class:`repro.explore.Explorer`
+  on a process pool against one fresh shared store, probe leases on.
+
+It checks canonical equivalence, that the shared sweep executed
+strictly fewer probes than it asked (the store at work), and reports
+wall time.  The committed ``BENCH_explore.json`` at the repo root
+records both; refresh it with::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py --write-baseline
+
+CI runs the dependency-free quick mode instead::
+
+    PYTHONPATH=src python benchmarks/bench_explore.py --quick
+
+which re-checks equivalence and reuse on a small fixed-seed grid and
+compares the aggregate point/probe counts against the committed
+baseline exactly.  The counts are deterministic: per-point calls and
+metrics are scheduling-independent, and the lease protocol executes
+every distinct probe exactly once sweep-wide, so the execution/hit
+split is too.  Wall time is printed for context but never gates; the
+store is a fresh temporary directory per measurement, so the gate
+cannot be warmed (or poisoned) by leftover state.
+"""
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+from repro.explore import DesignSpace, Explorer, parse_grid
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_explore.json"
+)
+
+#: Full mode: the seed sweep's stage/SRAM grid.
+FULL_GRID = "stages=2,3,4,6,12;sram=8,16"
+FULL_PACKETS = 1200
+#: Quick mode: a 3-shape stage sweep (12 points with both orders and
+#: both policies) — small enough for CI, rich enough that shapes share
+#: profiles and orders share compiles.
+QUICK_GRID = "stages=3,6,12"
+QUICK_PACKETS = 400
+
+PROGRAMS = ("example_firewall",)
+WORKERS = 4
+TRACE_SEED = 0
+
+#: Aggregate keys that are deterministic under the lease protocol and
+#: therefore safe to gate on (timing keys never are).
+COUNT_KEYS = (
+    "points",
+    "feasible",
+    "infeasible",
+    "fitting",
+    "frontier_points",
+    "probe_calls",
+    "probe_executions",
+    "probe_disk_hits",
+)
+
+
+def _counts(aggregate: dict) -> dict:
+    return {key: aggregate[key] for key in COUNT_KEYS}
+
+
+def _space(grid: str) -> DesignSpace:
+    from repro.programs.common import EXAMPLE_TARGET
+
+    return DesignSpace(
+        programs=PROGRAMS, shapes=parse_grid(grid, EXAMPLE_TARGET)
+    )
+
+
+def _canonical(result) -> dict:
+    """The store-independent slice of the canonical dict: everything
+    except the aggregate (whose execution/hit split legitimately
+    differs between a storeless and a shared run)."""
+    payload = result.as_dict()
+    payload.pop("aggregate")
+    return payload
+
+
+def measure_explore(
+    grid: str = FULL_GRID,
+    packets: int = FULL_PACKETS,
+    workers: int = WORKERS,
+):
+    """One grid, swept storeless-serially and against a shared store."""
+    space = _space(grid)
+
+    t0 = time.perf_counter()
+    storeless = Explorer(
+        space,
+        packets=packets,
+        trace_seed=TRACE_SEED,
+        workers=1,
+        store=False,
+    ).run()
+    storeless_seconds = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="p2go-bench-explore-") as tmp:
+        t0 = time.perf_counter()
+        shared = Explorer(
+            space,
+            packets=packets,
+            trace_seed=TRACE_SEED,
+            workers=workers,
+            store=tmp,
+        ).run()
+        shared_seconds = time.perf_counter() - t0
+
+    shared_agg = shared.aggregate()
+    storeless_agg = storeless.aggregate()
+    return {
+        "grid": grid,
+        "packets": packets,
+        "workers": workers,
+        "equivalent": _canonical(shared) == _canonical(storeless),
+        "reuse": shared_agg["probe_disk_hits"] > 0,
+        "reuse_rate": round(shared_agg["disk_reuse_rate"], 4),
+        "frontier": {
+            program: [outcome.point.point_id for outcome in front]
+            for program, front in shared.frontier().items()
+        },
+        "breakpoints": shared.breakpoints(),
+        "storeless_seconds": round(storeless_seconds, 3),
+        "shared_seconds": round(shared_seconds, 3),
+        "speedup": round(storeless_seconds / shared_seconds, 2),
+        "shared_counts": _counts(shared_agg),
+        "storeless_counts": _counts(storeless_agg),
+    }
+
+
+def render_explore(measured: dict) -> str:
+    shared = measured["shared_counts"]
+    storeless = measured["storeless_counts"]
+    frontier_total = sum(
+        len(points) for points in measured["frontier"].values()
+    )
+    return "\n".join([
+        f"P2GO design-space sweep, {shared['points']} points "
+        f"(grid {measured['grid']!r}, x{measured['packets']} packets, "
+        f"{measured['workers']} workers)",
+        f"  storeless (serial):   {measured['storeless_seconds']:>8.2f} s"
+        f"   {storeless['probe_executions']:>4d} probes executed",
+        f"  shared store (pool):  {measured['shared_seconds']:>8.2f} s"
+        f"   {shared['probe_executions']:>4d} probes executed, "
+        f"{shared['probe_disk_hits']} store hits "
+        f"(cross-point reuse {measured['reuse_rate']:.1%})",
+        f"  speedup:              {measured['speedup']:>8.2f}x",
+        f"  frontier:             {frontier_total:>8d} point(s), "
+        f"{shared['fitting']} fitting of {shared['points']} "
+        f"({shared['infeasible']} infeasible)",
+        f"  equivalent:           {str(measured['equivalent']):>8s}",
+    ])
+
+
+def test_explore_bench(record):
+    """The exploration acceptance bars: canonical equivalence between
+    the storeless-serial and shared-store sweeps, cross-point reuse,
+    a non-empty frontier."""
+    measured = measure_explore()
+    record("explore_bench", render_explore(measured))
+    assert measured["equivalent"]
+    assert measured["reuse"]
+    assert any(points for points in measured["frontier"].values())
+    if os.environ.get("P2GO_WRITE_BASELINE") == "1":
+        write_baseline()
+
+
+def write_baseline() -> dict:
+    """Measure both grids and refresh BENCH_explore.json."""
+    baseline = {
+        "full": measure_explore(),
+        "quick": measure_explore(QUICK_GRID, QUICK_PACKETS),
+    }
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+# ----------------------------------------------------------------------
+# Quick mode: dependency-free CI gate (no pytest / pytest-benchmark).
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Design-space sweep benchmark (see module docstring)"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small fixed-seed grid; fail on non-equivalence, on zero "
+        "cross-point reuse, on an empty frontier, or on count drift vs "
+        "the committed BENCH_explore.json (wall time is printed but "
+        "never gates)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh BENCH_explore.json with this run's numbers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.write_baseline:
+        baseline = write_baseline()
+        print(render_explore(baseline["full"]))
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    if args.quick:
+        measured = measure_explore(QUICK_GRID, QUICK_PACKETS)
+    else:
+        measured = measure_explore()
+    print(render_explore(measured))
+
+    if not measured["equivalent"]:
+        print(
+            "FAIL: the shared-store sweep's canonical outcome diverged "
+            "from the storeless serial sweep"
+        )
+        return 1
+    if not measured["reuse"]:
+        print(
+            "FAIL: the cold sweep scored zero cross-point store hits "
+            "(the shared store bought nothing)"
+        )
+        return 1
+    if not any(points for points in measured["frontier"].values()):
+        print("FAIL: empty Pareto frontier on the benchmark grid")
+        return 1
+
+    if args.quick:
+        if not BASELINE_PATH.exists():
+            print(f"FAIL: committed baseline {BASELINE_PATH} is missing")
+            return 1
+        baseline = json.loads(BASELINE_PATH.read_text())["quick"]
+        for side in (
+            "shared_counts",
+            "storeless_counts",
+            "frontier",
+            "breakpoints",
+        ):
+            if measured[side] != baseline[side]:
+                print(
+                    f"FAIL: {side} drifted from the committed baseline: "
+                    f"{measured[side]} != {baseline[side]}"
+                )
+                return 1
+        print(
+            f"  baseline:             {baseline['shared_seconds']:>8.2f} s "
+            "shared (informational — the gate is counters-only)"
+        )
+        print("OK: counters match the committed baseline")
+    else:
+        print(
+            "OK: shared sweep equivalent to storeless, with reuse and a "
+            "non-empty frontier"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,15 @@ Commands:
   layer: per-switch results identical to independent ``optimize``
   runs, cross-switch probes answered from the shared store, in-flight
   duplicates deduped through store leases).
+* ``explore [--programs a,b] [--grid SPEC] [--sample N] [--seed N]
+  [--workers N] [--store PATH | --no-store] [--json FILE]
+  [--report FILE]`` — sweep a design space (target shapes x phase
+  orders x candidate policies x programs) through the full pipeline
+  against one shared store and extract the multi-objective Pareto
+  frontier (stages, controller load, profile coverage, compile count)
+  plus each program's smallest-shape-that-still-fits breakpoint.
+  Exit code 1 when the frontier is empty (no swept point both
+  optimizes and fits its shape).
 * ``serve [PROGRAM] [--config CFG] [--trace PCAP]
   [--feed generator|trace|lines|socket] [--max-packets N]
   [--duration S] [--window N] [--tolerance F] [--phases 2,3]
@@ -85,6 +94,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -313,6 +323,85 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"fleet summary written to {args.json}")
     return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.core.report import render_explore_report
+    from repro.explore import DesignSpace, Explorer, parse_grid, seed_space
+
+    programs = (
+        tuple(p.strip() for p in args.programs.split(",") if p.strip())
+        if args.programs
+        else None
+    )
+    try:
+        if args.grid:
+            from repro.programs.common import EXAMPLE_TARGET
+
+            base = load_target(args.target) if args.target else EXAMPLE_TARGET
+            space = DesignSpace(
+                programs=programs if programs else ("example_firewall",),
+                shapes=parse_grid(args.grid, base),
+            )
+        else:
+            space = seed_space(
+                programs,
+                base=load_target(args.target) if args.target else None,
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def sweep(store) -> int:
+        explorer = Explorer(
+            space,
+            packets=args.packets,
+            trace_seed=args.trace_seed,
+            sample=args.sample,
+            seed=args.seed,
+            workers=args.workers,
+            store=store,
+        )
+        try:
+            result = explorer.run()
+        except ModuleNotFoundError as exc:
+            print(
+                f"error: unknown program family ({exc.name})",
+                file=sys.stderr,
+            )
+            return 2
+        report = render_explore_report(result)
+        print(report)
+        if args.report:
+            Path(args.report).write_text(report + "\n")
+            print(f"exploration report written to {args.report}")
+        if args.json:
+            Path(args.json).write_text(
+                json.dumps(result.as_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            print(f"exploration summary written to {args.json}")
+        if result.aggregate()["frontier_points"] == 0:
+            print(
+                "error: empty frontier — no swept design point both "
+                "optimizes and fits its shape",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    if args.no_store:
+        return sweep(False)
+    if args.store:
+        return sweep(args.store)
+    if os.environ.get("P2GO_STORE"):
+        return sweep(None)  # defer to $P2GO_STORE
+    # No store requested anywhere: cross-point reuse is the sweep's
+    # whole economy, so share an ephemeral store for this run.
+    with tempfile.TemporaryDirectory(prefix="p2go-explore-") as tmp:
+        return sweep(tmp)
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -671,6 +760,72 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="write the aggregate + per-switch summary as JSON",
     )
     p_fleet.set_defaults(func=cmd_fleet)
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="sweep a design space (shapes x orders x policies) and "
+        "extract the Pareto frontier",
+    )
+    p_explore.add_argument(
+        "--programs", default=None,
+        help="comma-separated program families to sweep (default: "
+        "example_firewall — the ablation benches' program)",
+    )
+    p_explore.add_argument(
+        "--grid", default=None, metavar="SPEC",
+        help="shape grid as ';'-separated axis clauses, e.g. "
+        "'stages=3,6,12;sram=8,16;tcam=4,8' (axes omitted stay at the "
+        "base target's value; default: the seed grid "
+        "stages=2,3,4,6,12;sram=8,16)",
+    )
+    p_explore.add_argument(
+        "--target", default=None,
+        help="base target JSON the grid's shapes are applied to "
+        "(default: the example target)",
+    )
+    p_explore.add_argument(
+        "--sample", type=int, default=None, metavar="N",
+        help="run a seeded N-point sample of the grid instead of all "
+        "of it (order-preserving; same --seed -> same points)",
+    )
+    p_explore.add_argument(
+        "--seed", type=int, default=0,
+        help="sampling seed (default 0)",
+    )
+    p_explore.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="per-program traffic seed (default 0)",
+    )
+    p_explore.add_argument(
+        "--packets", type=int, default=None,
+        help="per-program trace length (default: each family's "
+        "standard trace)",
+    )
+    p_explore.add_argument(
+        "--workers", type=int, default=None,
+        help="coordinator process-pool size (default: $P2GO_WORKERS, "
+        "then 1; results and JSON are identical for any value)",
+    )
+    p_explore.add_argument(
+        "--store", metavar="PATH", default=None,
+        help="shared store root every point reads and writes "
+        "(default: $P2GO_STORE, then an ephemeral per-run store — "
+        "cross-point reuse always on)",
+    )
+    p_explore.add_argument(
+        "--no-store", action="store_true",
+        help="run every point storeless (no cross-point reuse)",
+    )
+    p_explore.add_argument(
+        "--report", metavar="FILE",
+        help="write the exploration report here",
+    )
+    p_explore.add_argument(
+        "--json", metavar="FILE",
+        help="write the canonical sweep summary (points, frontier, "
+        "breakpoints, aggregate) as JSON",
+    )
+    p_explore.set_defaults(func=cmd_explore)
 
     p_serve = sub.add_parser(
         "serve",

@@ -60,6 +60,7 @@ __all__ = [
     "FleetSwitch",
     "SwitchSpec",
     "build_fabric",
+    "family_inputs",
     "run_fleet",
     "switch_fingerprint",
 ]
@@ -102,9 +103,14 @@ class SwitchSpec:
         )
 
 
-def _family_inputs(
-    family: str, packets: Optional[int], trace_seed: int
+def family_inputs(
+    family: str, packets: Optional[int] = None, trace_seed: int = 0
 ) -> Tuple[Program, RuntimeConfig, List[TracePacket], TargetModel]:
+    """Concrete pipeline inputs for one evaluation-program family:
+    ``(program, config, trace, target)``.  ``packets`` overrides the
+    family's default trace length; ``trace_seed`` feeds its traffic
+    generator.  Shared by the fleet builder and the design-space
+    explorer so both sweep the same program corpus."""
     module = importlib.import_module(f"repro.programs.{family}")
     program = module.build_program()
     try:
@@ -142,7 +148,7 @@ def build_fabric(
     specs = []
     for index in range(size):
         family = families[index % len(families)]
-        program, config, trace, target = _family_inputs(
+        program, config, trace, target = family_inputs(
             family, packets, seed + index
         )
         specs.append(

@@ -58,6 +58,56 @@ class MemoryReduction:
         return 1.0 - self.new_size / self.candidate.original_size
 
 
+#: A candidate-selection policy: reorders phase 3's candidate list.
+CandidateOrder = Callable[[List[MemoryCandidate]], List[MemoryCandidate]]
+
+
+def _policy_highest_hit_rate(
+    candidates: List[MemoryCandidate],
+) -> List[MemoryCandidate]:
+    """The anti-paper order the candidate-choice ablation measures:
+    riskiest (highest hit rate) resources first."""
+    return sorted(candidates, key=lambda c: -c.hit_rate)
+
+
+def _policy_largest_memory_first(
+    candidates: List[MemoryCandidate],
+) -> List[MemoryCandidate]:
+    """Greedy-capacity order: try the biggest allocations first."""
+    return sorted(candidates, key=lambda c: -c.original_size)
+
+
+#: Named candidate-selection policies (all module-level functions, so a
+#: policy name can cross a process boundary and resolve to the same
+#: picklable callable in a pool worker).  ``None`` means "keep the
+#: order :func:`find_candidates` produced" — the paper's
+#: lowest-hit-rate-first default.  All sorts are stable, so equal-key
+#: candidates keep their control order and every policy is
+#: deterministic.
+CANDIDATE_POLICIES = {
+    "lowest-hit-rate": None,
+    "highest-hit-rate": _policy_highest_hit_rate,
+    "largest-memory-first": _policy_largest_memory_first,
+}
+
+
+def resolve_candidate_policy(
+    name: Optional[str],
+) -> Optional[CandidateOrder]:
+    """The callable behind a policy name (None / "lowest-hit-rate" →
+    the built-in paper order).  Unknown names fail loudly — a sweep
+    must not silently fall back to the default policy."""
+    if name is None:
+        return None
+    try:
+        return CANDIDATE_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown candidate policy {name!r}; known policies: "
+            + ", ".join(sorted(CANDIDATE_POLICIES))
+        ) from None
+
+
 def _resized(program: Program, kind: ResourceKind, name: str, size: int) -> Program:
     if kind is ResourceKind.TABLE:
         return program.with_table_size(name, size)

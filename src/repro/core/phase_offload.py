@@ -636,6 +636,12 @@ class OffloadPass:
         if changed:
             ctx.propose(program=step.program, config=step.config)
             info["offloaded_tables"] = step.offloaded.candidate.tables
+            # The controller-load cost of this offload: the fraction of
+            # the trace the redirect table(s) send to the controller
+            # (summed over the DP combination's disjoint segments).
+            info["controller_load"] = sum(
+                e.redirect_fraction for e in step.combination
+            )
         return PassResult(
             changed=changed, observations=step.observations, info=info
         )

@@ -44,7 +44,10 @@ from repro.core.passes import (
     ReviewHook,
 )
 from repro.core.phase_dependencies import DependencyRemovalPass
-from repro.core.phase_memory import MemoryReductionPass
+from repro.core.phase_memory import (
+    MemoryReductionPass,
+    resolve_candidate_policy,
+)
 from repro.core.phase_offload import DEFAULT_MAX_REDIRECT, OffloadPass
 from repro.core.profiler import Profile
 from repro.core.session import (
@@ -80,6 +83,12 @@ class P2GOResult:
     initial_profile: Profile
     outcomes: List[PhaseOutcome]
     offloaded_tables: Tuple[str, ...] = ()
+    #: Fraction of the trace the optimized program redirects to the
+    #: controller (summed over every offloaded segment's redirect
+    #: table; 0.0 when phase 4 offloaded nothing).  One of the
+    #: design-space explorer's Pareto objectives
+    #: (:mod:`repro.explore.frontier`).
+    controller_load: float = 0.0
     #: Perf counters of the initial profiling replay (packets/s, flow-cache
     #: hit rate, per-table lookups) — the engine cost every later phase
     #: re-pays on each re-profile (per-phase re-pay shows up on each
@@ -157,7 +166,11 @@ class SwitchRun:
         workers: Optional[int] = None,
         fastpath: Optional[bool] = None,
         lease_probes: bool = False,
+        candidate_policy: Optional[str] = None,
     ):
+        # Fail on an unknown policy name at construction, not inside a
+        # pool worker mid-sweep.
+        resolve_candidate_policy(candidate_policy)
         program.validate()
         config.validate(program)
         if fastpath is not None:
@@ -178,6 +191,7 @@ class SwitchRun:
         self.memoize = memoize
         self.workers = workers
         self.lease_probes = lease_probes
+        self.candidate_policy = candidate_policy
 
     # ------------------------------------------------------------------
     def build_passes(self) -> List[OptimizationPass]:
@@ -193,7 +207,10 @@ class SwitchRun:
             elif phase_number == 3:
                 passes.append(
                     MemoryReductionPass(
-                        max_rounds=self.max_memory_reductions
+                        max_rounds=self.max_memory_reductions,
+                        candidate_order=resolve_candidate_policy(
+                            self.candidate_policy
+                        ),
                     )
                 )
             elif phase_number == 4:
@@ -348,6 +365,9 @@ class SwitchRun:
             offloaded_tables=tuple(
                 manager.info.get("offloaded_tables", ())
             ),
+            controller_load=float(
+                manager.info.get("controller_load", 0.0)
+            ),
             profiling_perf=profiling_perf,
             session_counters=ctx.counters,
             workers=ctx.workers,
@@ -416,6 +436,7 @@ class P2GO:
         store=None,
         fastpath: Optional[bool] = None,
         lease_probes: bool = False,
+        candidate_policy: Optional[str] = None,
     ):
         self.switch_run = SwitchRun(
             program,
@@ -432,6 +453,7 @@ class P2GO:
             workers=workers,
             fastpath=fastpath,
             lease_probes=lease_probes,
+            candidate_policy=candidate_policy,
         )
         # Mirror the normalized inputs (the fastpath knob may have
         # cloned the config) so callers keep seeing the familiar

@@ -7,6 +7,9 @@ judgement.  :func:`render_fleet_report` does the same for a fleet run
 (:mod:`repro.core.fleet`): the per-switch roll-up plus the fabric-level
 numbers — stages reclaimed, cross-switch probe reuse, lease contention,
 wall clock against running the switches independently.
+:func:`render_explore_report` renders a design-space sweep
+(:mod:`repro.explore`): per-program Pareto frontiers, fit breakpoints,
+and the cross-point reuse the shared store bought.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from repro.core.pipeline import P2GOResult
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet -> report)
     from repro.core.fleet import FleetResult
     from repro.core.serve import ServeResult
+    from repro.explore.explorer import ExploreResult
 
 
 def stage_table(result: P2GOResult) -> str:
@@ -295,5 +299,88 @@ def render_fleet_report(fleet: "FleetResult") -> str:
         f"wall clock: {agg['wall_seconds']:.2f}s for the fleet vs "
         f"{agg['switch_seconds']:.2f}s of per-switch work "
         f"({speedup:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def render_explore_report(explore: "ExploreResult") -> str:
+    """The sweep-level report for one design-space exploration.
+
+    Per program: the Pareto frontier (every non-dominated feasible,
+    fitting point with its objective values) and the fit breakpoint
+    (the smallest swept shape the optimized program still fits).  For
+    the sweep: the point census, probe provenance, and the cross-point
+    reuse rate the shared store bought.  Timings and worker counts live
+    here — and only here; the canonical JSON excludes them so its bytes
+    are worker-count-independent.
+    """
+    agg = explore.aggregate()
+    lines: List[str] = [
+        "=" * 72,
+        f"P2GO design-space exploration — {agg['points']} points "
+        f"({explore.space.size}-point space), {explore.workers} workers",
+        "=" * 72,
+        "",
+    ]
+    frontier = explore.frontier()
+    breakpoints = explore.breakpoints()
+    for program in explore.space.programs:
+        front = frontier.get(program, [])
+        fitting = sum(
+            1
+            for outcome in explore.outcomes
+            if outcome.point.program == program
+            and outcome.feasible
+            and outcome.fits
+        )
+        lines.append(
+            f"{program}: {len(front)} frontier point(s) of "
+            f"{fitting} fitting"
+        )
+        for outcome in front:
+            metrics = outcome.metrics
+            lines.append(
+                f"  {outcome.point.point_id:<48} "
+                f"stages {metrics['stages_used']:>2}  "
+                f"load {metrics['controller_load']:>6.1%}  "
+                f"coverage {metrics['profile_coverage']:>6.1%}  "
+                f"compiles {metrics['compile_count']:>3}"
+            )
+        breakpoint_info = breakpoints.get(program)
+        if breakpoint_info is not None:
+            smallest = breakpoint_info["smallest_fit"]
+            shape = (
+                "x".join(str(v) for v in smallest)
+                if smallest is not None
+                else "none — no swept shape fits"
+            )
+            lines.append(
+                f"  smallest fitting shape: {shape} "
+                f"({breakpoint_info['shapes_fit']}/"
+                f"{breakpoint_info['shapes_swept']} shapes fit)"
+            )
+        lines.append("")
+    if agg["infeasible"]:
+        lines.append(
+            f"infeasible points: {agg['infeasible']} (program cannot be "
+            "allocated on the shape at all)"
+        )
+    lines.append(
+        f"probes: {agg['probe_calls']} asked, "
+        f"{agg['probe_executions']} executed, "
+        f"{agg['probe_disk_hits']} answered by the shared store "
+        f"(cross-point reuse {agg['disk_reuse_rate']:.1%})"
+    )
+    if explore.store_root is not None:
+        lines.append(f"shared store: {explore.store_root}")
+    point_seconds = sum(outcome.seconds for outcome in explore.outcomes)
+    speedup = (
+        point_seconds / explore.wall_seconds
+        if explore.wall_seconds > 0
+        else 0.0
+    )
+    lines.append(
+        f"wall clock: {explore.wall_seconds:.2f}s for the sweep vs "
+        f"{point_seconds:.2f}s of per-point work ({speedup:.2f}x)"
     )
     return "\n".join(lines)

@@ -23,6 +23,13 @@ Keying:
   re-printed on the next ask), so long runs do not retain every rejected
   candidate AST; programs handed to the session are treated as
   immutable, the contract every phase already honours (rewrites clone).
+* **Compiles** are keyed by (program key, *target content fingerprint*)
+  — :meth:`~repro.target.model.TargetModel.fingerprint`, every field of
+  the target, not just its name.  Two targets that share a name but
+  differ in shape (a hand-written target JSON left at the default
+  ``rmt-default`` name, or a design-space sweep's generated shapes)
+  therefore never share a compile entry, in the memo tier or in the
+  persistent store.
 * **Configs** are keyed by their canonical content (sorted entries,
   default overrides, register inits, engine switches) — *not* by the
   ``mutations`` stamp, so two ``restricted_to`` results with equal
@@ -646,7 +653,7 @@ class OptimizationContext:
         if program is None:
             program = self.program
         self.counters.compile_calls += 1
-        key = (self.program_key(program), self.target.name)
+        key = (self.program_key(program), self.target.fingerprint())
         if self.memoize:
             cached = self._compile_cache.get(key)
             if cached is not None:
@@ -811,7 +818,7 @@ class OptimizationContext:
         workers: int,
     ) -> Tuple[List[CompileResult], List[Tuple[Profile, PerfCounters]]]:
         compile_keys = [
-            (self.program_key(program), self.target.name)
+            (self.program_key(program), self.target.fingerprint())
             for program in programs
         ]
         profile_keys = [

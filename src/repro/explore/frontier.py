@@ -1,0 +1,149 @@
+"""Multi-objective Pareto extraction over design-point metrics.
+
+The explorer scores every feasible design point on four objectives —
+pipeline stages used (min), controller load (min), profile coverage
+(max), compile count (min) — and the *frontier* is the subset no other
+point dominates.  Domination is the standard strong Pareto relation on
+min-normalized vectors: ``a`` dominates ``b`` when ``a`` is no worse on
+every objective and strictly better on at least one.  Points with
+*equal* objective vectors tie: neither dominates, so both survive —
+deterministically, in input order.
+
+:func:`pareto_front` exploits that domination implies lexicographic
+precedence (if ``a`` dominates ``b`` then ``vec(a) < vec(b)``
+lexicographically): scanning points in lex order, only the running
+archive of survivors can dominate the next candidate, so each point is
+compared against the frontier-so-far instead of every other point.
+``tests/test_explore.py`` property-checks it against the O(n²)
+every-pair recount.
+
+:func:`fit_breakpoints` answers the deployment question a shape sweep
+exists for: per program, the smallest swept shape the optimized program
+still fits — below it, buying fewer stages means the program spills
+into virtual stages.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "dominates",
+    "fit_breakpoints",
+    "objective_vector",
+    "pareto_front",
+]
+
+T = TypeVar("T")
+
+#: The explorer's objectives: ``(metric key, sense)``.  ``min``/``max``
+#: is per objective; vectors are normalized so smaller is always
+#: better (``max`` axes are negated).
+DEFAULT_OBJECTIVES: Tuple[Tuple[str, str], ...] = (
+    ("stages_used", "min"),
+    ("controller_load", "min"),
+    ("profile_coverage", "max"),
+    ("compile_count", "min"),
+)
+
+
+def objective_vector(
+    metrics: Mapping,
+    objectives: Sequence[Tuple[str, str]] = DEFAULT_OBJECTIVES,
+) -> Tuple[float, ...]:
+    """``metrics`` projected onto ``objectives``, min-normalized."""
+    vector = []
+    for key, sense in objectives:
+        if sense not in ("min", "max"):
+            raise ValueError(
+                f"objective {key!r} has unknown sense {sense!r}; "
+                "use 'min' or 'max'"
+            )
+        value = float(metrics[key])
+        vector.append(value if sense == "min" else -value)
+    return tuple(vector)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Strong Pareto domination on min-normalized vectors: ``a`` no
+    worse everywhere and strictly better somewhere.  Equal vectors
+    dominate in neither direction (ties survive extraction)."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"vectors must share a length, got {len(a)} and {len(b)}"
+        )
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Sequence[Tuple[str, str]] = DEFAULT_OBJECTIVES,
+    key: Optional[Callable[[T], Mapping]] = None,
+) -> List[T]:
+    """The non-dominated subset of ``items``, in input order.
+
+    ``key`` maps an item to its metrics mapping (identity by default).
+    Deterministic: output order is input order, and equal-vector ties
+    all survive.  Lex-sorted archive scan — each candidate is checked
+    against current survivors only, which is sufficient because a
+    dominator always precedes its victim lexicographically.
+    """
+    getter = key if key is not None else (lambda item: item)
+    vectors = [objective_vector(getter(item), objectives) for item in items]
+    order = sorted(range(len(vectors)), key=lambda i: (vectors[i], i))
+    archive: List[int] = []
+    surviving: List[int] = []
+    for i in order:
+        if not any(dominates(vectors[j], vectors[i]) for j in archive):
+            archive.append(i)
+            surviving.append(i)
+    surviving.sort()
+    return [items[i] for i in surviving]
+
+
+def fit_breakpoints(
+    records: Sequence[Mapping],
+) -> Dict[str, Dict]:
+    """Per-program fit breakpoints over a shape sweep.
+
+    ``records``: mappings with ``program`` (str), ``shape`` (a
+    3-sequence ``(num_stages, sram_blocks, tcam_blocks)``), and
+    ``fits`` (bool — did the *optimized* program fit that shape).  A
+    shape counts as fitting when any swept point on it fits (phase
+    order/policy may rescue a shape another configuration spills on).
+
+    Returns, per program (sorted): ``smallest_fit`` — the minimal
+    fitting shape as ``[stages, sram, tcam]`` (ordered by stages, then
+    total blocks; ``None`` when no swept shape fits) — plus the
+    ``shapes_fit`` / ``shapes_swept`` census behind it.
+    """
+    by_program: Dict[str, Dict[Tuple[int, int, int], bool]] = {}
+    for record in records:
+        shape = tuple(int(v) for v in record["shape"])
+        shapes = by_program.setdefault(str(record["program"]), {})
+        shapes[shape] = shapes.get(shape, False) or bool(record["fits"])
+    breakpoints: Dict[str, Dict] = {}
+    for program in sorted(by_program):
+        shapes = by_program[program]
+        fitting = sorted(
+            (shape for shape, fits in shapes.items() if fits),
+            key=lambda s: (s[0], s[1] + s[2], s[1]),
+        )
+        breakpoints[program] = {
+            "smallest_fit": list(fitting[0]) if fitting else None,
+            "shapes_fit": len(fitting),
+            "shapes_swept": len(shapes),
+        }
+    return breakpoints

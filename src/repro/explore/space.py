@@ -1,0 +1,300 @@
+"""Declarative design space for P2GO sweeps.
+
+A *design point* is one complete configuration of a hypothetical
+deployment: which evaluation program runs, what pipeline shape the
+target offers (stages x SRAM blocks x TCAM blocks per stage), which
+phase order P2GO applies, and which phase-3 candidate-selection policy
+it uses.  A :class:`DesignSpace` is the cross product of those axes; the
+explorer (:mod:`repro.explore.explorer`) runs every point (or a seeded
+sample of them) through the full pipeline and hands the outcomes to the
+Pareto extractor (:mod:`repro.explore.frontier`).
+
+Everything here is declarative and picklable: a point crosses a process
+boundary as data (program *names*, shape integers, order tuples, policy
+*names*) and is resolved to executable objects inside the worker.  The
+enumeration order is fixed (programs, then shapes, then orders, then
+policies) and :meth:`DesignSpace.sample` draws from it with a seeded
+RNG, so the same ``(space, sample, seed)`` always yields the same point
+list — the submission order the explorer's determinism contract merges
+results in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.phase_memory import CANDIDATE_POLICIES
+from repro.target.model import TargetModel
+
+__all__ = [
+    "DEFAULT_ORDERS",
+    "DEFAULT_POLICIES",
+    "DEFAULT_PROGRAMS",
+    "DesignPoint",
+    "DesignSpace",
+    "TargetShape",
+    "parse_grid",
+    "seed_space",
+]
+
+#: Phase orders the phase-order ablation bench compares: the paper's
+#: offload-last order and the offload-first anti-order.
+DEFAULT_ORDERS: Tuple[Tuple[int, ...], ...] = ((2, 3, 4), (4, 2, 3))
+
+#: Candidate policies the candidate-choice ablation bench compares.
+DEFAULT_POLICIES: Tuple[str, ...] = ("lowest-hit-rate", "highest-hit-rate")
+
+#: The program corpus the seed sweep covers — the paper's running
+#: example (the program both ablation benches measure).
+DEFAULT_PROGRAMS: Tuple[str, ...] = ("example_firewall",)
+
+_VALID_PHASES = frozenset({2, 3, 4})
+
+
+@dataclass(frozen=True)
+class TargetShape:
+    """One pipeline shape: the three axes a design sweep varies.
+
+    Block sizes and the per-stage table bound are deployment constants,
+    not exploration axes — :meth:`apply` inherits them from a base
+    target.  Validation raises :class:`ValueError` (a malformed *shape*
+    is a caller bug, unlike a malformed target *file*, which raises
+    :class:`~repro.exceptions.CompilationError` at load time).
+    """
+
+    num_stages: int
+    sram_blocks: int
+    tcam_blocks: int
+
+    def __post_init__(self) -> None:
+        for field_name in ("num_stages", "sram_blocks", "tcam_blocks"):
+            value = getattr(self, field_name)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise ValueError(
+                    f"shape axis {field_name!r} must be an integer, "
+                    f"got {value!r}"
+                )
+            if value <= 0:
+                raise ValueError(
+                    f"shape axis {field_name!r} must be positive, "
+                    f"got {value}"
+                )
+
+    @property
+    def shape_id(self) -> str:
+        """Compact ``stages x sram x tcam`` label (e.g. ``6x16x8``)."""
+        return f"{self.num_stages}x{self.sram_blocks}x{self.tcam_blocks}"
+
+    def key(self) -> Tuple[int, int, int]:
+        """Sort key: fewer stages first, then less memory.  The order
+        :func:`~repro.explore.frontier.fit_breakpoints` calls
+        "smallest"."""
+        return (
+            self.num_stages,
+            self.sram_blocks + self.tcam_blocks,
+            self.sram_blocks,
+        )
+
+    def apply(self, base: TargetModel) -> TargetModel:
+        """This shape as a concrete target: the three axes replaced,
+        everything else (block bytes, tables/stage) inherited from
+        ``base``.  The derived name embeds the shape, but identity is
+        carried by :meth:`~repro.target.model.TargetModel.fingerprint`
+        — two shapes never share compile cache entries regardless of
+        naming."""
+        return TargetModel(
+            name=f"{base.name}@{self.shape_id}",
+            num_stages=self.num_stages,
+            sram_blocks_per_stage=self.sram_blocks,
+            tcam_blocks_per_stage=self.tcam_blocks,
+            sram_block_bytes=base.sram_block_bytes,
+            tcam_block_bytes=base.tcam_block_bytes,
+            max_tables_per_stage=base.max_tables_per_stage,
+        )
+
+    @classmethod
+    def of(cls, target: TargetModel) -> "TargetShape":
+        """The shape of an existing target."""
+        return cls(
+            num_stages=target.num_stages,
+            sram_blocks=target.sram_blocks_per_stage,
+            tcam_blocks=target.tcam_blocks_per_stage,
+        )
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One fully specified sweep configuration (pure data)."""
+
+    program: str
+    shape: TargetShape
+    order: Tuple[int, ...]
+    policy: str
+
+    @property
+    def point_id(self) -> str:
+        """Stable human-readable identity, e.g.
+        ``example_firewall/6x16x8/o234/lowest-hit-rate``."""
+        order = "".join(str(phase) for phase in self.order)
+        return (
+            f"{self.program}/{self.shape.shape_id}/o{order}/{self.policy}"
+        )
+
+
+class DesignSpace:
+    """The cross product of the four sweep axes.
+
+    Axes are validated at construction (unknown policies and phase
+    numbers fail here, not inside a pool worker mid-sweep) and
+    normalized to tuples; :meth:`points` enumerates the product in a
+    fixed order and :meth:`sample` draws a seeded subset of it,
+    preserving that order.
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[str],
+        shapes: Sequence[TargetShape],
+        orders: Sequence[Sequence[int]] = DEFAULT_ORDERS,
+        policies: Sequence[str] = DEFAULT_POLICIES,
+    ):
+        self.programs: Tuple[str, ...] = tuple(programs)
+        self.shapes: Tuple[TargetShape, ...] = tuple(shapes)
+        self.orders: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(order) for order in orders
+        )
+        self.policies: Tuple[str, ...] = tuple(policies)
+        for axis in ("programs", "shapes", "orders", "policies"):
+            if not getattr(self, axis):
+                raise ValueError(f"design space needs at least one of {axis}")
+        for order in self.orders:
+            unknown = set(order) - _VALID_PHASES
+            if unknown:
+                raise ValueError(
+                    f"phase order {order} contains unknown phases "
+                    f"{sorted(unknown)}; valid phases are 2, 3, 4"
+                )
+        for policy in self.policies:
+            if policy not in CANDIDATE_POLICIES:
+                raise ValueError(
+                    f"unknown candidate policy {policy!r}; known "
+                    "policies: " + ", ".join(sorted(CANDIDATE_POLICIES))
+                )
+
+    @property
+    def size(self) -> int:
+        return (
+            len(self.programs)
+            * len(self.shapes)
+            * len(self.orders)
+            * len(self.policies)
+        )
+
+    def points(self) -> List[DesignPoint]:
+        """Every point, in the canonical axis-nesting order."""
+        return [
+            DesignPoint(
+                program=program, shape=shape, order=order, policy=policy
+            )
+            for program in self.programs
+            for shape in self.shapes
+            for order in self.orders
+            for policy in self.policies
+        ]
+
+    def sample(self, n: int, seed: int = 0) -> List[DesignPoint]:
+        """A seeded ``n``-point subset, in enumeration order (sampling
+        thins the grid; it never reorders it, so explorer submission
+        order — and therefore output bytes — depend only on
+        ``(space, n, seed)``)."""
+        if n <= 0:
+            raise ValueError(f"sample size must be positive, got {n}")
+        points = self.points()
+        if n >= len(points):
+            return points
+        indices = sorted(random.Random(seed).sample(range(len(points)), n))
+        return [points[i] for i in indices]
+
+    def describe(self) -> dict:
+        """The axes as JSON-safe data (for reports and canonical
+        output)."""
+        return {
+            "programs": list(self.programs),
+            "shapes": [shape.shape_id for shape in self.shapes],
+            "orders": [list(order) for order in self.orders],
+            "policies": list(self.policies),
+            "size": self.size,
+        }
+
+
+# ----------------------------------------------------------------------
+# Grid parsing and the seed sweep
+
+
+def parse_grid(spec: str, base: TargetModel) -> List[TargetShape]:
+    """Shapes from a CLI grid spec: ``;``-separated axis clauses, each
+    ``axis=v1,v2,...`` with axes ``stages``, ``sram``, ``tcam``.  A
+    missing axis stays at ``base``'s value; the product nests in that
+    axis order.  Example: ``stages=3,6,12;sram=8,16`` over the default
+    example target yields six shapes.  Raises :class:`ValueError` on
+    unknown axes, empty clauses, or non-positive values (via
+    :class:`TargetShape`).
+    """
+    axes = {
+        "stages": [base.num_stages],
+        "sram": [base.sram_blocks_per_stage],
+        "tcam": [base.tcam_blocks_per_stage],
+    }
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, sep, values = clause.partition("=")
+        name = name.strip()
+        if not sep or name not in axes:
+            raise ValueError(
+                f"bad grid clause {clause!r}; expected "
+                "'stages=...', 'sram=...', or 'tcam=...'"
+            )
+        try:
+            parsed = [int(v) for v in values.split(",") if v.strip()]
+        except ValueError:
+            raise ValueError(
+                f"grid axis {name!r} needs comma-separated integers, "
+                f"got {values!r}"
+            ) from None
+        if not parsed:
+            raise ValueError(f"grid axis {name!r} has no values")
+        axes[name] = parsed
+    return [
+        TargetShape(
+            num_stages=stages, sram_blocks=sram, tcam_blocks=tcam
+        )
+        for stages in axes["stages"]
+        for sram in axes["sram"]
+        for tcam in axes["tcam"]
+    ]
+
+
+def seed_space(
+    programs: Optional[Sequence[str]] = None,
+    base: Optional[TargetModel] = None,
+) -> DesignSpace:
+    """The default sweep, seeded from the existing ablation benchmarks:
+    their two phase orders and two candidate policies, crossed with a
+    stage/SRAM grid around the example target (down to shapes the
+    programs stop fitting on, so the frontier and the fit breakpoints
+    are both non-trivial out of the box)."""
+    if base is None:
+        from repro.programs.common import EXAMPLE_TARGET
+
+        base = EXAMPLE_TARGET
+    shapes = parse_grid("stages=2,3,4,6,12;sram=8,16", base)
+    return DesignSpace(
+        programs=tuple(programs) if programs else DEFAULT_PROGRAMS,
+        shapes=shapes,
+        orders=DEFAULT_ORDERS,
+        policies=DEFAULT_POLICIES,
+    )

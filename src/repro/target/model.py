@@ -99,6 +99,16 @@ class TargetModel:
             )
         return max(1, -(-nbytes // block_bytes))
 
+    def fingerprint(self) -> tuple:
+        """Canonical content key of this target (every field, name
+        included — a :class:`~repro.target.compiler.CompileResult`
+        embeds the target, so entries must not be shared between
+        same-shape targets with different names).  The session keys its
+        compile memo and the persistent store on this, so two targets
+        that differ only in shape never share a compile entry — a
+        design-space sweep depends on that."""
+        return tuple(getattr(self, f.name) for f in dc_fields(self))
+
     def __str__(self) -> str:
         return (
             f"target {self.name}: {self.num_stages} stages, "

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_arg_parser, main
 from repro.p4.dsl import print_program
 from repro.packets.pcap import write_pcap
 from repro.programs import nat_gre
@@ -360,6 +360,79 @@ class TestFleet:
     def test_unknown_family_reports_error(self, capsys):
         assert main(
             ["fleet", "--size", "1", "--families", "no_such_family"]
+        ) == 2
+        assert "unknown program family" in capsys.readouterr().err
+
+
+class TestExplore:
+    """``p2go explore``: a design-space sweep with a Pareto frontier."""
+
+    FAST = ["--grid", "stages=6,12", "--packets", "300"]
+
+    def test_flags_parse(self):
+        args = build_arg_parser().parse_args(
+            ["explore", "--programs", "example_firewall", "--grid",
+             "stages=3,6;sram=8", "--sample", "5", "--seed", "9",
+             "--workers", "2", "--no-store"]
+        )
+        assert args.programs == "example_firewall"
+        assert args.grid == "stages=3,6;sram=8"
+        assert args.sample == 5 and args.seed == 9
+        assert args.workers == 2 and args.no_store
+
+    def test_explore_prints_report_and_writes_json(
+        self, tmp_path, capsys
+    ):
+        summary = tmp_path / "explore.json"
+        assert main(
+            ["explore", *self.FAST, "--store", str(tmp_path / "store"),
+             "--json", str(summary)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "P2GO design-space exploration" in out
+        assert "cross-point reuse" in out
+        assert "smallest fitting shape" in out
+        payload = json.loads(summary.read_text())
+        assert set(payload) == {
+            "aggregate", "breakpoints", "frontier", "points", "space",
+        }
+        assert payload["space"]["points_run"] == 8
+        assert payload["frontier"]["example_firewall"]
+        assert payload["breakpoints"]["example_firewall"][
+            "smallest_fit"
+        ] is not None
+        for point in payload["points"]:
+            assert point["status"] == "ok"
+            assert point["metrics"]["compile_count"] > 0
+
+    def test_ephemeral_store_still_reuses_across_points(
+        self, capsys, monkeypatch
+    ):
+        # No --store, no $P2GO_STORE: the sweep shares a per-run
+        # temporary store, so cross-point reuse is non-zero anyway.
+        monkeypatch.delenv("P2GO_STORE", raising=False)
+        assert main(["explore", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "cross-point reuse 0.0%" not in out
+        assert "p2go-explore-" in out
+
+    def test_infeasible_only_grid_exits_nonzero(self, capsys):
+        assert main(
+            ["explore", "--grid", "stages=12;sram=1",
+             "--packets", "300"]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "empty frontier" in captured.err
+        assert "infeasible points: 4" in captured.out
+
+    def test_bad_grid_exits_with_usage_error(self, capsys):
+        assert main(["explore", "--grid", "stages=twelve"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_unknown_program_reports_error(self, capsys):
+        assert main(
+            ["explore", "--programs", "no_such_family",
+             "--grid", "stages=6"]
         ) == 2
         assert "unknown program family" in capsys.readouterr().err
 

@@ -212,7 +212,7 @@ class TestTraceIdentity:
         )
         ctx.compile()
         assert ("compile", (ctx.program_key(ctx.program),
-                            ctx.target.name)) in ctx._store_misses
+                            ctx.target.fingerprint())) in ctx._store_misses
         ctx.trace = list(ctx.trace)[:4]
         assert any(
             entry[0] == "compile" for entry in ctx._store_misses

@@ -634,7 +634,8 @@ class TestProbeLeases:
             DEFAULT_TARGET,
             store=SessionStore(root), lease_probes=True,
         )
-        key = (reader.program_key(reader.program), reader.target.name)
+        key = (reader.program_key(reader.program),
+               reader.target.fingerprint())
         # The race's leftover state, reproduced directly: this session
         # missed on disk *before* the writer's entry landed, then won
         # the (now free) lease.  The claim must re-check the entry.
